@@ -1,0 +1,67 @@
+// Command benchgen writes the synthetic ISCAS89-statistics benchmark suite
+// (paper Table 9) as .bench files.
+//
+// Usage:
+//
+//	benchgen -out ./benchmarks            # all 17 circuits plus s27
+//	benchgen -out . -circuits s641,s713
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench89"
+)
+
+func main() {
+	out := flag.String("out", "benchmarks", "output directory")
+	circuits := flag.String("circuits", "", "comma-separated subset (default: s27 + all of Table 9)")
+	flag.Parse()
+
+	var names []string
+	if *circuits == "" {
+		names = append(names, "s27")
+		for _, s := range bench89.Specs {
+			names = append(names, s.Name)
+		}
+	} else {
+		for _, n := range strings.Split(*circuits, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		c, err := bench89.Load(name)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, strings.ReplaceAll(name, ".", "_")+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.WriteBench(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := c.Stats()
+		fmt.Printf("%-24s %4d PI %5d DFF %6d gates %6d INV  area %8.0f\n",
+			path, st.PIs, st.DFFs, st.Gates, st.Inverters, st.Area)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

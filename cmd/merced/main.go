@@ -1,0 +1,161 @@
+// Command merced is the BIST compiler of the paper (Table 2): it reads a
+// circuit netlist (ISCAS89 .bench or a built-in benchmark name), partitions
+// it for pipelined pseudo-exhaustive testing under the input constraint
+// l_k, retimes functional registers onto the cut nets, and reports the
+// resulting CBIT hardware cost with and without retiming.
+//
+// Usage:
+//
+//	merced -circuit s27 -lk 3
+//	merced -file design.bench -lk 16 -beta 50 -seed 1 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench89"
+	"repro/internal/cbit"
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/netlist"
+	"repro/internal/ppet"
+	"repro/internal/report"
+	"repro/internal/retime"
+)
+
+func main() {
+	file := flag.String("file", "", "path to a .bench netlist")
+	circuit := flag.String("circuit", "", "built-in benchmark name (s27 or a Table 9 circuit)")
+	lk := flag.Int("lk", 16, "input-size constraint l_k")
+	beta := flag.Int("beta", 50, "Eq. (6) SCC cut-budget multiplier")
+	seed := flag.Int64("seed", 1, "random seed for Saturate_Network")
+	verbose := flag.Bool("v", false, "print per-cluster details")
+	noRetime := flag.Bool("no-retime-solver", false, "skip the Leiserson-Saxe solver (per-SCC accounting only)")
+	minPeriod := flag.Bool("min-period", false, "also report the minimum clock period achievable by retiming (unit delays)")
+	emitPath := flag.String("emit", "", "write the self-testable netlist (retimed + A_CELLs + scan chain) to this .bench file")
+	flag.Parse()
+
+	c, err := loadCircuit(*file, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.DefaultOptions(*lk, *seed)
+	opt.Beta = *beta
+	opt.SolveRetiming = !*noRetime
+
+	r, err := core.Compile(c, opt)
+	if err != nil {
+		fatal(err)
+	}
+	printReport(c, r, *lk, *verbose)
+
+	if *minPeriod {
+		cg := retime.Build(r.Graph)
+		zero := make([]int, len(cg.Vertices))
+		p0, err := cg.Period(zero)
+		if err != nil {
+			fatal(err)
+		}
+		_, p, err := retime.MinimizePeriod(cg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("clock period (unit gate delays): %d as designed, %d after min-period retiming\n", p0, p)
+	}
+
+	if *emitPath != "" {
+		tc, info, err := emit.Testable(r)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*emitPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tc.WriteBench(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("emitted %s: %d converted registers, %d multiplexed cells, %d boundary cells, scan chain of %d, +%.0f area units\n",
+			*emitPath, info.Converted, info.Multiplexed-info.Boundary, info.Boundary, len(info.ScanOrder), info.AddedArea)
+	}
+}
+
+func loadCircuit(file, name string) (*netlist.Circuit, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(file, f)
+	case name != "":
+		return bench89.Load(name)
+	default:
+		return nil, fmt.Errorf("one of -file or -circuit is required")
+	}
+}
+
+func printReport(c *netlist.Circuit, r *core.Result, lk int, verbose bool) {
+	fmt.Printf("Merced BIST compiler — %s\n", c)
+	fmt.Printf("l_k=%d: %d clusters, max inputs %d, %d cut nets (%d on SCCs)\n",
+		lk, len(r.Partition.Clusters), r.Partition.MaxInputs(),
+		r.Areas.CutNets, r.Areas.CutNetsOnSCC)
+	fmt.Printf("flip-flops: %d total, %d on SCCs\n", r.Areas.DFFs, r.Areas.DFFsOnSCC)
+	fmt.Printf("flow: %d shortest-path trees; group split passes: %d; %d merges\n",
+		r.Flow.Trees, r.Partition.BoundarySteps, len(r.Merges))
+	if r.Retiming != nil {
+		fmt.Printf("retiming: %d cut nets covered by repositioned registers, %d need multiplexed A_CELLs (%d solver rounds)\n",
+			len(r.Retiming.Covered), len(r.Retiming.Demoted), r.Retiming.Iterations)
+	}
+	fmt.Printf("CBIT area: %.0f units with retiming vs %.0f without (circuit %.0f)\n",
+		r.Areas.CBITAreaRetimed, r.Areas.CBITAreaNonRetimed, r.Areas.CircuitArea)
+	fmt.Printf("A_CBIT/A_Total: %.1f%% with retiming, %.1f%% without (saving %.1f points)\n",
+		r.Areas.RatioRetimed, r.Areas.RatioNonRetimed, r.Areas.Saving())
+
+	if plan, err := ppet.BuildPlan(r.Partition); err == nil {
+		pipes := ppet.Pipes(r.Partition)
+		fmt.Printf("testing time: 2^%d = %.0f clock cycles across %d test pipes (widest CBIT dominates); serial PET would need %.0f (%.1fx)\n",
+			plan.MaxWidth, plan.TotalTime, len(pipes), ppet.PETTime(plan), plan.SpeedUp())
+	}
+	fmt.Printf("compile time: %v (saturate %v, group %v, assign %v, retime %v)\n",
+		r.Elapsed, r.Phases.Saturate, r.Phases.Group, r.Phases.Assign, r.Phases.Retime)
+
+	if !verbose {
+		return
+	}
+	t := report.NewTable("\nClusters", "ID", "cells", "inputs", "CBIT type", "CBIT area")
+	for _, cl := range r.Partition.Clusters {
+		w, ok := cbit.TypeFor(cl.Inputs())
+		typ, area := "-", 0.0
+		if ok {
+			typ = fmt.Sprintf("%d-bit", w)
+			area = cbit.Area(w)
+		}
+		t.AddRowf(cl.ID, len(cl.Nodes), cl.Inputs(), typ, area)
+	}
+	_ = t.Write(os.Stdout)
+
+	if verbose && len(r.Partition.Clusters) <= 12 {
+		fmt.Println("\nCluster membership:")
+		for _, cl := range r.Partition.Clusters {
+			names := make([]string, 0, len(cl.Nodes))
+			for _, v := range cl.Nodes {
+				names = append(names, r.Graph.Nodes[v].Name)
+			}
+			sort.Strings(names)
+			fmt.Printf("  %d: %v\n", cl.ID, names)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "merced:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command simulate drives a gate-level netlist with random or LFSR stimulus
+// and reports output activity; with -vcd it writes a waveform dump any VCD
+// viewer opens.
+//
+// Usage:
+//
+//	simulate -circuit s27 -cycles 50
+//	simulate -file design.bench -cycles 200 -stimulus lfsr -vcd waves.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bench89"
+	"repro/internal/cbit"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func main() {
+	file := flag.String("file", "", "path to a .bench netlist")
+	circuit := flag.String("circuit", "", "built-in benchmark name")
+	cycles := flag.Int("cycles", 64, "cycles to simulate")
+	stimulus := flag.String("stimulus", "random", "input stimulus: random | lfsr | zero")
+	seed := flag.Int64("seed", 1, "stimulus seed")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform dump to this file")
+	flag.Parse()
+
+	c, err := loadCircuit(*file, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := sim.Compile(c)
+	if err != nil {
+		fatal(err)
+	}
+	st := ev.NewState()
+
+	var vcd *sim.VCDWriter
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		vcd, err = sim.NewVCDWriter(f, ev, nil, 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer vcd.Close()
+	}
+
+	drive := makeStimulus(*stimulus, len(c.Inputs), *seed)
+	toggles := make([]int, len(c.Outputs))
+	prev := make([]uint64, len(c.Outputs))
+	for cycle := 0; cycle < *cycles; cycle++ {
+		for i, w := range drive(cycle) {
+			ev.SetInput(st, i, w)
+		}
+		ev.EvalComb(st)
+		if vcd != nil {
+			vcd.Sample(st)
+		}
+		for i := range c.Outputs {
+			w := ev.Output(st, i) & 1
+			if cycle > 0 && w != prev[i] {
+				toggles[i]++
+			}
+			prev[i] = w
+		}
+		ev.ClockDFFs(st)
+	}
+
+	fmt.Printf("%s: simulated %d cycles (%s stimulus)\n", c.Name, *cycles, *stimulus)
+	shown := len(c.Outputs)
+	if shown > 16 {
+		shown = 16
+	}
+	for i := 0; i < shown; i++ {
+		fmt.Printf("  %-12s final=%d toggles=%d\n", c.Outputs[i], prev[i], toggles[i])
+	}
+	if shown < len(c.Outputs) {
+		fmt.Printf("  ... %d more outputs\n", len(c.Outputs)-shown)
+	}
+	if *vcdPath != "" {
+		fmt.Printf("waveforms: %s (%d signals)\n", *vcdPath, ev.NumSignals())
+	}
+}
+
+// makeStimulus returns a per-cycle input generator: one word per PI,
+// bit 0 carrying the stimulus (the other lanes mirror it).
+func makeStimulus(kind string, inputs int, seed int64) func(int) []uint64 {
+	switch kind {
+	case "zero":
+		words := make([]uint64, inputs)
+		return func(int) []uint64 { return words }
+	case "lfsr":
+		width := inputs
+		if width < cbit.MinWidth {
+			width = cbit.MinWidth
+		}
+		if width > cbit.MaxWidth {
+			width = cbit.MaxWidth
+		}
+		tpg, err := cbit.New(width)
+		if err != nil {
+			fatal(err)
+		}
+		s := uint64(seed)
+		if s == 0 {
+			s = 1
+		}
+		_ = tpg.SetState(s & (1<<uint(width) - 1))
+		words := make([]uint64, inputs)
+		return func(int) []uint64 {
+			pat := tpg.StepTPG()
+			for i := range words {
+				if pat&(1<<uint(i%width)) != 0 {
+					words[i] = ^uint64(0)
+				} else {
+					words[i] = 0
+				}
+			}
+			return words
+		}
+	default: // random
+		rng := rand.New(rand.NewSource(seed))
+		words := make([]uint64, inputs)
+		return func(int) []uint64 {
+			for i := range words {
+				words[i] = rng.Uint64()
+			}
+			return words
+		}
+	}
+}
+
+func loadCircuit(file, name string) (*netlist.Circuit, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(file, f)
+	case name != "":
+		return bench89.Load(name)
+	default:
+		return nil, fmt.Errorf("one of -file or -circuit is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// areasweep demonstrates the testing-time vs. test-hardware trade-off the
+// paper's Figure 4 and Table 12 frame: sweeping the input constraint l_k
+// over the standard CBIT sizes changes both the self-test session length
+// (2^l_k cycles) and the cut-net count, and sweeping beta (Eq. 6) shows the
+// retiming budget trade-off on the strongly connected components.
+//
+//	go run ./examples/areasweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench89"
+	"repro/internal/cbit"
+	"repro/internal/core"
+)
+
+func main() {
+	const name = "s641"
+	c, err := bench89.Load(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("l_k sweep on %s (beta=50):\n", name)
+	fmt.Println("  l_k  testing_time  cuts  on_scc  covered  A_CBIT%/ret  A_CBIT%/noret  saving")
+	for _, lk := range cbit.StandardWidths {
+		r, err := core.Compile(c, core.DefaultOptions(lk, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3d  %12.0f  %4d  %6d  %7d  %11.1f  %13.1f  %6.1f\n",
+			lk, cbit.TestingTime(lk), r.Areas.CutNets, r.Areas.CutNetsOnSCC,
+			r.Areas.CoveredCuts, r.Areas.RatioRetimed, r.Areas.RatioNonRetimed, r.Areas.Saving())
+	}
+
+	// Beta trade-off: a small beta restricts cuts inside SCCs (cheaper
+	// retimed hardware per cut, but the partitioner may need more or
+	// wider clusters -> longer testing time). The paper leaves beta to the
+	// designer and uses 50 for the unrestricted experiments.
+	fmt.Printf("\nbeta sweep on %s (l_k=16):\n", name)
+	fmt.Println("  beta  cuts  on_scc  max_inputs  covered  excess")
+	for _, beta := range []int{1, 2, 5, 50} {
+		opt := core.DefaultOptions(16, 1)
+		opt.Beta = beta
+		r, err := core.Compile(c, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d  %4d  %6d  %10d  %7d  %6d\n",
+			beta, r.Areas.CutNets, r.Areas.CutNetsOnSCC, r.Partition.MaxInputs(),
+			r.Areas.CoveredCuts, r.Areas.ExcessCuts)
+	}
+}

@@ -1,0 +1,101 @@
+// s27walkthrough reproduces the paper's running example on ISCAS89 s27:
+// Figure 2 (the multi-pin graph), Figure 5 (Saturate_Network congestion),
+// Figure 6 (Make_Group clusters at l_k=3) and Figure 7 (the merged
+// partition after Assign_CBIT).
+//
+//	go run ./examples/s27walkthrough
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/bench89"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func main() {
+	c, err := bench89.S27()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 2: the multi-pin graph representation.
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Figure 2: multi-pin graph of s27 ==")
+	fmt.Printf("%d nodes (%d cells), %d nets\n", g.NumNodes(), len(g.CellIDs()), g.NumNets())
+	for _, net := range g.Nets {
+		fmt.Println("  ", g.NetString(net.ID))
+	}
+
+	scc := g.SCC()
+	fmt.Println("\nstrongly connected components (paper STEP 2):")
+	for comp := 0; comp < scc.NumComponents(); comp++ {
+		if !scc.Nontrivial(comp) {
+			continue
+		}
+		var names []string
+		for _, v := range scc.Members[comp] {
+			names = append(names, g.Nodes[v].Name)
+		}
+		sort.Strings(names)
+		fmt.Printf("  SCC with f=%d registers, %d intra nets: %v\n",
+			scc.RegCount[comp], len(scc.IntraNets[comp]), names)
+	}
+
+	// Figure 5: Saturate_Network congestion. Wider arrows in the paper =
+	// larger d(e) here.
+	fres, err := flow.Saturate(g, flow.DefaultConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Figure 5: net congestion after Saturate_Network ==")
+	order := make([]int, g.NumNets())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return fres.D[order[a]] > fres.D[order[b]] })
+	for _, e := range order {
+		fmt.Printf("  d(%-4s) = %8.3f  flow = %.2f\n", g.Nets[e].Name, fres.D[e], fres.Flow[e])
+	}
+
+	// Figure 6: Make_Group at l_k=3.
+	d := append([]float64(nil), fres.D...)
+	pres, err := partition.MakeGroup(g, scc, d, partition.Options{LK: 3, Beta: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Figure 6: clusters after Make_Group (l_k=3) ==")
+	printClusters(g, pres)
+
+	// Figure 7: Assign_CBIT merging.
+	trace, err := partition.AssignCBIT(pres, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Figure 7: merged partition after Assign_CBIT (l_k=3) ==")
+	printClusters(g, pres)
+	fmt.Printf("(%d merges performed; paper's example finds 4 partitions)\n", len(trace))
+	for _, m := range trace {
+		fmt.Printf("  merged cluster %d into %d: inputs %d -> %d (gain %d)\n",
+			m.From, m.Into, m.InputsBefore, m.InputsAfter, m.Gain)
+	}
+	fmt.Printf("cut nets: %d total, %d on SCCs\n", pres.NumCutNets(), pres.NumCutNetsOnSCC())
+}
+
+func printClusters(g *graph.G, r *partition.Result) {
+	for _, cl := range r.Clusters {
+		var names []string
+		for _, v := range cl.Nodes {
+			names = append(names, g.Nodes[v].Name)
+		}
+		sort.Strings(names)
+		fmt.Printf("  cluster %d: iota=%d  %v\n", cl.ID, cl.Inputs(), names)
+	}
+}

@@ -1,0 +1,255 @@
+// Package anneal is the simulated-annealing input-constraint partitioner the
+// authors used before the flow-based approach (Liou/Lin/Cheng/Liu, CICC'94
+// — the paper's reference [4]). It serves as the baseline Merced's
+// multicommodity-flow partitioner is compared against: same cost model
+// (cut nets under the iota <= l_k constraint), different search strategy.
+package anneal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Options configures the annealer.
+type Options struct {
+	// LK is the input-size constraint.
+	LK int
+	// NumClusters is the partition arity m; 0 derives it from the cell
+	// count and LK.
+	NumClusters int
+	// Seed drives the Markov chain.
+	Seed int64
+	// InitialTemp, Cooling and MovesPerTemp shape the schedule; zero
+	// values get sensible defaults (T0=10, 0.95, 8*|cells|).
+	InitialTemp  float64
+	Cooling      float64
+	MovesPerTemp int
+	// MinTemp stops the schedule (default 0.05).
+	MinTemp float64
+	// Penalty weights the input-constraint violation term (default 5).
+	Penalty float64
+}
+
+// Result is an annealed partition.
+type Result struct {
+	// Assign[v] is the cluster of cell v (-1 for non-cells).
+	Assign []int
+	// CutNets counts nets whose source and some cell sink differ in
+	// cluster.
+	CutNets int
+	// MaxInputs is the largest iota over clusters.
+	MaxInputs int
+	// Violations sums max(0, iota-LK) over clusters.
+	Violations int
+	// Moves and Accepted report the chain statistics.
+	Moves, Accepted int
+	// Cost is the final energy.
+	Cost float64
+}
+
+// Partition anneals the cells of g into clusters under the input
+// constraint. It is deliberately simple and quadratic-ish: the baseline
+// exists to compare solution quality, not speed, with partition.MakeGroup.
+func Partition(g *graph.G, opt Options) (*Result, error) {
+	if opt.LK < 1 {
+		return nil, errors.New("anneal: LK must be >= 1")
+	}
+	cells := g.CellIDs()
+	if len(cells) == 0 {
+		return &Result{Assign: fill(g.NumNodes(), -1)}, nil
+	}
+	m := opt.NumClusters
+	if m <= 0 {
+		// Rough sizing: aim for clusters of ~2*LK cells.
+		m = len(cells)/(2*opt.LK) + 1
+	}
+	if m < 2 {
+		m = 2
+	}
+	t0 := opt.InitialTemp
+	if t0 <= 0 {
+		t0 = 10
+	}
+	cool := opt.Cooling
+	if cool <= 0 || cool >= 1 {
+		cool = 0.95
+	}
+	moves := opt.MovesPerTemp
+	if moves <= 0 {
+		moves = 8 * len(cells)
+	}
+	minT := opt.MinTemp
+	if minT <= 0 {
+		minT = 0.05
+	}
+	penalty := opt.Penalty
+	if penalty <= 0 {
+		penalty = 5
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	st := newState(g, m, opt.LK)
+	for _, v := range cells {
+		st.place(v, rng.Intn(m))
+	}
+
+	res := &Result{Assign: append([]int(nil), st.assign...)}
+	cur := st.cost(penalty)
+	best := cur
+	bestAssign := append([]int(nil), st.assign...)
+
+	for T := t0; T > minT; T *= cool {
+		for i := 0; i < moves; i++ {
+			v := cells[rng.Intn(len(cells))]
+			from := st.assign[v]
+			to := rng.Intn(m)
+			if to == from {
+				continue
+			}
+			res.Moves++
+			st.move(v, to)
+			next := st.cost(penalty)
+			if next <= cur || rng.Float64() < math.Exp((cur-next)/T) {
+				cur = next
+				res.Accepted++
+				if cur < best {
+					best = cur
+					copy(bestAssign, st.assign)
+				}
+			} else {
+				st.move(v, from) // reject
+			}
+		}
+	}
+
+	st.load(bestAssign)
+	res.Assign = bestAssign
+	res.Cost = best
+	res.CutNets = st.cutNets
+	res.MaxInputs, res.Violations = st.inputStats()
+	return res, nil
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// state maintains incremental cut and input counts. Each net remembers the
+// clusters it currently contributes an input to (contrib), so refreshes
+// stay correct regardless of how the assignment changed in between.
+type state struct {
+	g      *graph.G
+	lk     int
+	m      int
+	assign []int
+	// contrib[e] lists clusters net e currently counts toward iota of.
+	contrib [][]int
+	// cut[e] caches whether net e currently crosses clusters.
+	cut     []bool
+	cutNets int
+	// inputs[c] is iota(c): nets with a cell sink in c and source outside.
+	inputs []int
+}
+
+func newState(g *graph.G, m, lk int) *state {
+	return &state{
+		g:       g,
+		lk:      lk,
+		m:       m,
+		assign:  fill(g.NumNodes(), -1),
+		contrib: make([][]int, g.NumNets()),
+		cut:     make([]bool, g.NumNets()),
+		inputs:  make([]int, m),
+	}
+}
+
+// place sets the initial cluster of v (identical to move; kept for intent).
+func (st *state) place(v, c int) { st.move(v, c) }
+
+// move relocates v and refreshes all incident nets.
+func (st *state) move(v, c int) {
+	st.assign[v] = c
+	for _, e := range st.g.In[v] {
+		st.refreshNet(e)
+	}
+	for _, e := range st.g.Out[v] {
+		st.refreshNet(e)
+	}
+}
+
+// load replaces the whole assignment.
+func (st *state) load(assign []int) {
+	copy(st.assign, assign)
+	for e := range st.contrib {
+		st.refreshNet(e)
+	}
+}
+
+// refreshNet recomputes a net's cut flag and input contributions.
+// O(|sinks|); the annealer's move neighbourhood touches only incident nets.
+func (st *state) refreshNet(e int) {
+	g := st.g
+	net := &g.Nets[e]
+
+	// Remove the previously recorded contributions.
+	for _, c := range st.contrib[e] {
+		st.inputs[c]--
+	}
+	st.contrib[e] = st.contrib[e][:0]
+	if st.cut[e] {
+		st.cutNets--
+		st.cut[e] = false
+	}
+
+	srcIsCell := g.IsCell(net.Source)
+	srcIsPI := g.Nodes[net.Source].Kind == graph.KindPI
+	srcCluster := -1
+	if srcIsCell {
+		srcCluster = st.assign[net.Source]
+	}
+	seen := map[int]bool{}
+	for _, s := range net.Sinks {
+		if !g.IsCell(s) {
+			continue
+		}
+		c := st.assign[s]
+		if c < 0 || seen[c] { // unplaced sinks during initial seeding
+			continue
+		}
+		seen[c] = true
+		if srcIsCell && c != srcCluster {
+			st.cut[e] = true
+		}
+		if (srcIsCell && c != srcCluster) || srcIsPI {
+			st.contrib[e] = append(st.contrib[e], c)
+			st.inputs[c]++
+		}
+	}
+	if st.cut[e] {
+		st.cutNets++
+	}
+}
+
+func (st *state) inputStats() (maxIn, violations int) {
+	for _, in := range st.inputs {
+		if in > maxIn {
+			maxIn = in
+		}
+		if in > st.lk {
+			violations += in - st.lk
+		}
+	}
+	return maxIn, violations
+}
+
+func (st *state) cost(penalty float64) float64 {
+	_, viol := st.inputStats()
+	return float64(st.cutNets) + penalty*float64(viol)
+}

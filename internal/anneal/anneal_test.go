@@ -1,0 +1,163 @@
+package anneal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func s27Graph(t *testing.T) *graph.G {
+	t.Helper()
+	c, err := netlist.ParseBenchString("s27", s27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionS27(t *testing.T) {
+	g := s27Graph(t)
+	r, err := Partition(g, Options{LK: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.CellIDs() {
+		if r.Assign[v] < 0 {
+			t.Fatalf("cell %d unassigned", v)
+		}
+	}
+	if r.Moves == 0 || r.Accepted == 0 {
+		t.Fatalf("chain did not run: %+v", r)
+	}
+	// s27 at lk=3 is satisfiable (MakeGroup finds it); SA should end with
+	// no or few violations.
+	if r.Violations > 2 {
+		t.Fatalf("violations = %d", r.Violations)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := s27Graph(t)
+	a, _ := Partition(g, Options{LK: 3, Seed: 42})
+	b, _ := Partition(g, Options{LK: 3, Seed: 42})
+	if a.Cost != b.Cost || a.CutNets != b.CutNets {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	g := s27Graph(t)
+	if _, err := Partition(g, Options{LK: 0}); err == nil {
+		t.Fatal("LK=0 accepted")
+	}
+}
+
+func TestIncrementalCountsConsistent(t *testing.T) {
+	// Property: after an arbitrary sequence of moves, the incremental cut
+	// and input counters must equal a from-scratch recount.
+	g := s27Graph(t)
+	cells := g.CellIDs()
+	f := func(seed int64) bool {
+		st := newState(g, 4, 3)
+		rng := newRng(seed)
+		for _, v := range cells {
+			st.place(v, rng.Intn(4))
+		}
+		for i := 0; i < 50; i++ {
+			st.move(cells[rng.Intn(len(cells))], rng.Intn(4))
+		}
+		// Recount from scratch.
+		wantCut := 0
+		wantInputs := make([]int, 4)
+		for e := range g.Nets {
+			net := &g.Nets[e]
+			srcIsCell := g.IsCell(net.Source)
+			srcIsPI := g.Nodes[net.Source].Kind == graph.KindPI
+			seen := map[int]bool{}
+			cut := false
+			for _, s := range net.Sinks {
+				if !g.IsCell(s) {
+					continue
+				}
+				c := st.assign[s]
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				if srcIsCell && c != st.assign[net.Source] {
+					cut = true
+					wantInputs[c]++
+				} else if srcIsPI {
+					wantInputs[c]++
+				}
+			}
+			if cut {
+				wantCut++
+			}
+		}
+		if st.cutNets != wantCut {
+			return false
+		}
+		for c := range wantInputs {
+			if st.inputs[c] != wantInputs[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	c := netlist.New("empty")
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Partition(g, Options{LK: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CutNets != 0 {
+		t.Fatal("cuts on empty graph")
+	}
+}
+
+// newRng is a tiny helper so the property test controls its own stream.
+func newRng(seed int64) *rngT { return &rngT{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+type rngT struct{ s uint64 }
+
+func (r *rngT) Intn(n int) int {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return int((r.s >> 33) % uint64(n))
+}

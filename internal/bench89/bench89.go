@@ -1,0 +1,121 @@
+// Package bench89 supplies the benchmark circuits of the paper's section 4.
+// The exact ISCAS89 s27 netlist (the paper's own worked example, Figure 2)
+// is embedded; the other sixteen circuits of Table 9 are produced by a
+// deterministic seeded generator that matches each circuit's published
+// statistics — primary inputs, flip-flop count, combinational gate count,
+// inverter count, estimated area (±2%) — and the Table 10 "DFFs on SCC"
+// feedback structure. See DESIGN.md §4 for the substitution rationale.
+package bench89
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// S27Bench is the exact ISCAS89 s27 netlist.
+const S27Bench = `# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// S27 parses and returns the embedded s27 circuit.
+func S27() (*netlist.Circuit, error) {
+	return netlist.ParseBenchString("s27", S27Bench)
+}
+
+// Spec is one row of the paper's Table 9 plus the Table 10 feedback figure.
+type Spec struct {
+	Name      string
+	PIs       int
+	DFFs      int
+	Gates     int // combinational gates excluding inverters
+	Inverters int
+	Area      float64 // paper's estimated area
+	DFFsOnSCC int     // Table 10 column 3: flip-flops on strongly connected components
+}
+
+// Specs lists the seventeen ISCAS89 circuits of Table 9, in the paper's
+// order.
+var Specs = []Spec{
+	{"s510", 19, 6, 179, 32, 547, 6},
+	{"s420.1", 18, 16, 140, 78, 620, 16},
+	{"s641", 35, 19, 107, 272, 832, 15},
+	{"s713", 35, 19, 139, 254, 892, 15},
+	{"s820", 18, 5, 256, 33, 943, 5},
+	{"s832", 18, 5, 262, 25, 961, 5},
+	{"s838.1", 34, 32, 288, 158, 1268, 32},
+	{"s1423", 17, 74, 490, 167, 2238, 71},
+	{"s5378", 35, 179, 1004, 1775, 6241, 124},
+	{"s9234.1", 36, 211, 2027, 3570, 11467, 172},
+	{"s9234", 19, 228, 2027, 3570, 11637, 173},
+	{"s13207.1", 62, 638, 2573, 5378, 19171, 462},
+	{"s13207", 31, 669, 2573, 5378, 19476, 463},
+	{"s15850.1", 77, 534, 3448, 6324, 21305, 487},
+	{"s35932", 35, 1728, 12204, 3861, 50625, 1728},
+	{"s38417", 28, 1636, 8709, 13470, 52768, 1166},
+	{"s38584.1", 38, 1426, 11448, 7805, 55147, 1424},
+}
+
+// SpecByName returns the spec for a Table 9 circuit.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Load returns a benchmark circuit by name: "s27" exactly, Table 9 names
+// synthetically (deterministic per name).
+func Load(name string) (*netlist.Circuit, error) {
+	if name == "s27" {
+		return S27()
+	}
+	spec, ok := SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bench89: unknown circuit %q", name)
+	}
+	return Generate(spec, seedFor(name))
+}
+
+// SmallSpecs returns the specs with area below the threshold, for tests
+// that must stay fast.
+func SmallSpecs(maxArea float64) []Spec {
+	var out []Spec
+	for _, s := range Specs {
+		if s.Area <= maxArea {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, b := range []byte(name) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

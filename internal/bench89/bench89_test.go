@@ -1,0 +1,219 @@
+package bench89
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+func TestS27Exact(t *testing.T) {
+	c, err := S27()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.PIs != 4 || st.DFFs != 3 || st.Gates != 8 || st.Inverters != 2 {
+		t.Fatalf("s27 stats = %+v", st)
+	}
+	if len(c.Outputs) != 1 || c.Outputs[0] != "G17" {
+		t.Fatalf("s27 outputs = %v", c.Outputs)
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	if len(Specs) != 17 {
+		t.Fatalf("specs = %d, want 17 (paper Table 9)", len(Specs))
+	}
+	names := map[string]bool{}
+	for _, s := range Specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate spec %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.DFFsOnSCC > s.DFFs {
+			t.Fatalf("%s: DFFsOnSCC > DFFs", s.Name)
+		}
+		if s.Area <= 0 || s.PIs <= 0 || s.Gates <= 0 {
+			t.Fatalf("%s: degenerate spec %+v", s.Name, s)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, ok := SpecByName("s641"); !ok {
+		t.Fatal("s641 missing")
+	}
+	if _, ok := SpecByName("bogus"); ok {
+		t.Fatal("bogus found")
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("s000"); err == nil {
+		t.Fatal("unknown circuit loaded")
+	}
+}
+
+func TestGenerateMatchesSpec(t *testing.T) {
+	// Every generated circuit must reproduce Table 9's counts exactly and
+	// its estimated area within 2%.
+	for _, sp := range Specs {
+		if testing.Short() && sp.Area > 10000 {
+			continue
+		}
+		c, err := Load(sp.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		st := c.Stats()
+		if st.PIs != sp.PIs {
+			t.Errorf("%s: PIs %d, want %d", sp.Name, st.PIs, sp.PIs)
+		}
+		if st.DFFs != sp.DFFs {
+			t.Errorf("%s: DFFs %d, want %d", sp.Name, st.DFFs, sp.DFFs)
+		}
+		if st.Gates != sp.Gates {
+			t.Errorf("%s: gates %d, want %d", sp.Name, st.Gates, sp.Gates)
+		}
+		if st.Inverters != sp.Inverters {
+			t.Errorf("%s: inverters %d, want %d", sp.Name, st.Inverters, sp.Inverters)
+		}
+		if rel := math.Abs(st.Area-sp.Area) / sp.Area; rel > 0.02 {
+			t.Errorf("%s: area %.0f vs paper %.0f (%.1f%% off)", sp.Name, st.Area, sp.Area, 100*rel)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Load("s641")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("s641")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BenchString() != b.BenchString() {
+		t.Fatal("Load is not deterministic")
+	}
+	sp, _ := SpecByName("s641")
+	c2, err := Generate(sp, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BenchString() == c2.BenchString() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestGeneratedSCCStructure(t *testing.T) {
+	// The generated feedback structure must place close to the published
+	// number of flip-flops on strongly connected components.
+	for _, name := range []string{"s641", "s1423", "s838.1"} {
+		sp, _ := SpecByName(name)
+		c, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.FromCircuit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.RegsOnSCC(g.SCC())
+		if got < sp.DFFsOnSCC {
+			t.Errorf("%s: %d DFFs on SCC, want >= %d (ring plan)", name, got, sp.DFFsOnSCC)
+		}
+		// Pipeline flip-flops mostly stay off the SCCs; a ring hop reading
+		// nearby logic can pull the odd one onto a loop, so allow a 2%
+		// margin over the published figure.
+		margin := sp.DFFsOnSCC/50 + 1
+		if got > sp.DFFsOnSCC+margin {
+			t.Errorf("%s: %d DFFs on SCC, want <= %d", name, got, sp.DFFsOnSCC+margin)
+		}
+	}
+}
+
+func TestGeneratedCircuitsAreValidAndAcyclic(t *testing.T) {
+	// No combinational cycles: every cycle must pass through a DFF. The
+	// graph SCC check: any nontrivial SCC must contain at least one
+	// register node.
+	for _, name := range []string{"s510", "s713", "s1423"} {
+		c, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := graph.FromCircuit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := g.SCC()
+		for comp := 0; comp < info.NumComponents(); comp++ {
+			if info.Nontrivial(comp) && info.RegCount[comp] == 0 {
+				t.Fatalf("%s: combinational cycle (SCC with no registers)", name)
+			}
+		}
+	}
+}
+
+func TestEveryPIUsed(t *testing.T) {
+	for _, name := range []string{"s641", "s1423", "s5378"} {
+		c, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		read := map[string]bool{}
+		for _, g := range c.Gates {
+			for _, f := range g.Fanin {
+				read[f] = true
+			}
+		}
+		for _, o := range c.Outputs {
+			read[o] = true
+		}
+		for _, in := range c.Inputs {
+			if !read[in] {
+				t.Errorf("%s: primary input %s dangling", name, in)
+			}
+		}
+	}
+}
+
+func TestSmallSpecs(t *testing.T) {
+	small := SmallSpecs(1000)
+	for _, s := range small {
+		if s.Area > 1000 {
+			t.Fatalf("SmallSpecs returned %s with area %.0f", s.Name, s.Area)
+		}
+	}
+	if len(small) == 0 {
+		t.Fatal("no small specs")
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	c, err := Load("s510")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := netlist.ParseBenchString("s510", c.BenchString())
+	if err != nil {
+		t.Fatalf("generated netlist does not reparse: %v", err)
+	}
+	if c2.Stats() != c.Stats() {
+		t.Fatalf("roundtrip stats differ: %+v vs %+v", c2.Stats(), c.Stats())
+	}
+}
+
+func TestSeedForStable(t *testing.T) {
+	if seedFor("s641") != seedFor("s641") {
+		t.Fatal("seedFor unstable")
+	}
+	if seedFor("s641") == seedFor("s713") {
+		t.Fatal("seedFor collision")
+	}
+}

@@ -1,0 +1,663 @@
+package bench89
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Generate builds a synthetic sequential circuit matching the spec's
+// published statistics. The construction is staged so that the only cycles
+// run through the designated "loop" flip-flops (rings closed through a
+// dedicated hop gate each), reproducing the DFFs-on-SCC structure of the
+// paper's Table 10, while pipeline flip-flops cross stage boundaries
+// strictly forward. The same (spec, seed) pair always yields the identical
+// netlist.
+func Generate(spec Spec, seed int64) (*netlist.Circuit, error) {
+	if spec.DFFsOnSCC > spec.DFFs {
+		return nil, fmt.Errorf("bench89: %s: DFFsOnSCC %d > DFFs %d", spec.Name, spec.DFFsOnSCC, spec.DFFs)
+	}
+	if spec.Gates < spec.DFFsOnSCC {
+		return nil, fmt.Errorf("bench89: %s: gate budget %d below ring hop gates %d", spec.Name, spec.Gates, spec.DFFsOnSCC)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := netlist.New(spec.Name)
+
+	stages := 3 + spec.Gates/1500
+	if stages > 8 {
+		stages = 8
+	}
+
+	b := &builder{
+		c:       c,
+		rng:     rng,
+		pools:   make([][]string, stages),
+		unread:  make([][]string, stages),
+		cumSize: make([]int, stages),
+		invOf:   make(map[string]string),
+	}
+
+	// Primary inputs -> stage 0. Every PI is queued as a mandatory fanin so
+	// none ends up dangling (a dangling PI would shrink the circuit's real
+	// input count below Table 9's figure).
+	for i := 0; i < spec.PIs; i++ {
+		name := fmt.Sprintf("PI%d", i)
+		if err := c.AddInput(name); err != nil {
+			return nil, err
+		}
+		b.addSignal(0, name)
+		b.mustUse = append(b.mustUse, name)
+	}
+
+	// Plan flip-flop rings (SCC structure). Each ring of size k consumes k
+	// hop gates; the hop fanin fillers are wired at the end.
+	// Each hop either runs through a NAND gate or connects FF to FF
+	// directly (a shift-register arc). Direct hops make the loops
+	// register-dense the way real ISCAS89 datapath loops are, which is
+	// what lets retiming cover most SCC cut nets (paper Table 12).
+	type ringPlan struct {
+		stage int
+		ffs   []string
+		hops  []string // "" means a direct FF->FF connection
+	}
+	var rings []ringPlan
+	ffIdx, hopIdx, hopGates := 0, 0, 0
+	remaining := spec.DFFsOnSCC
+	for remaining > 0 {
+		k := 4 + rng.Intn(24)
+		if k > remaining {
+			k = remaining
+		}
+		remaining -= k
+		rp := ringPlan{stage: rng.Intn(stages)}
+		for i := 0; i < k; i++ {
+			rp.ffs = append(rp.ffs, fmt.Sprintf("FF%d", ffIdx))
+			ffIdx++
+			if rng.Float64() < 0.65 {
+				rp.hops = append(rp.hops, "") // direct shift-register arc
+			} else {
+				rp.hops = append(rp.hops, fmt.Sprintf("H%d", hopIdx))
+				hopIdx++
+				hopGates++
+			}
+		}
+		rings = append(rings, rp)
+	}
+	for _, rp := range rings {
+		for _, ff := range rp.ffs {
+			b.addSignal(rp.stage, ff)
+		}
+	}
+
+	// Plan pipeline flip-flops across stage boundaries.
+	type pipePlan struct {
+		boundary int // input from stage <= boundary, output at boundary+1
+		name     string
+	}
+	var pipes []pipePlan
+	for ffIdx < spec.DFFs {
+		bd := 0
+		if stages > 1 {
+			bd = rng.Intn(stages - 1)
+		}
+		pp := pipePlan{boundary: bd, name: fmt.Sprintf("FF%d", ffIdx)}
+		ffIdx++
+		pipes = append(pipes, pp)
+		b.addSignal(pp.boundary+1, pp.name)
+	}
+
+	// Combinational gate and inverter budgets per stage.
+	combGates := spec.Gates - hopGates
+	targetGateArea := spec.Area -
+		netlist.AreaDFF*float64(spec.DFFs) -
+		netlist.AreaInverter*float64(spec.Inverters) -
+		netlist.AreaNand2*float64(hopGates) // hop gates are NAND2
+
+	gatesPerStage := splitBudget(combGates, stages, rng)
+	invPerStage := splitBudget(spec.Inverters, stages, rng)
+
+	// Gates are created in local "blocks": each block draws a handful of
+	// interface signals from the wider circuit, then its gates mostly read
+	// within the block. Real designs are locally clustered (the property
+	// Make_Group exploits); without blocks the synthetic circuits would
+	// need far more cut nets than Table 10 reports.
+	remainingArea := targetGateArea
+	remainingGates := combGates
+	gIdx, iIdx := 0, 0
+	for t := 0; t < stages; t++ {
+		blockLeft := 0
+		nGates, nInvs := gatesPerStage[t], invPerStage[t]
+		for nGates > 0 || nInvs > 0 {
+			if blockLeft == 0 {
+				blockLeft = 10 + rng.Intn(22)
+				if err := b.startBlock(t, rng); err != nil {
+					return nil, err
+				}
+			}
+			blockLeft--
+			// Interleave inverters proportionally with gates.
+			makeInv := nInvs > 0 && (nGates == 0 || rng.Intn(nGates+nInvs) < nInvs)
+			if makeInv {
+				nInvs--
+				ins, err := b.pickLocalFanins(t, 1, rng)
+				if err != nil {
+					return nil, err
+				}
+				name := fmt.Sprintf("I%d", iIdx)
+				iIdx++
+				if _, err := c.AddGate(name, netlist.Not, ins...); err != nil {
+					return nil, err
+				}
+				b.invOf[name] = ins[0]
+				b.addSignal(t, name)
+				b.addToBlock(name)
+				continue
+			}
+			nGates--
+			area := pickArea(remainingArea, remainingGates)
+			typ, fanin := pickGate(rng, area)
+			ins, err := b.pickLocalFanins(t, fanin, rng)
+			if err != nil {
+				return nil, err
+			}
+			b.desaturate(t, ins, rng)
+			name := fmt.Sprintf("N%d", gIdx)
+			gIdx++
+			if _, err := c.AddGate(name, typ, ins...); err != nil {
+				return nil, err
+			}
+			b.addSignal(t, name)
+			b.addToBlock(name)
+			remainingArea -= netlist.GateArea(typ, fanin)
+			remainingGates--
+		}
+	}
+
+	// Close the rings: hop gate i = NAND(previous ring FF, filler); FF i
+	// latches hop i. Fillers stay local — the ring's own signals, a nearby
+	// recent signal of the same stage, or the previous ring's FF — so the
+	// resulting SCCs are register-rich and locally clustered (real ISCAS89
+	// loops are datapath-local; globally wired loops would force the
+	// partitioner into far more SCC cuts than Table 10 reports).
+	// Rings chain into groups of moderate size: real circuits hold many
+	// medium strongly connected components (interacting FSMs and datapath
+	// loops), not one giant one; within a group every cycle stays register-
+	// rich, so the group's cut nets remain coverable by retiming.
+	var prevRingFF string
+	groupLeft := 0
+	for _, rp := range rings {
+		if groupLeft == 0 {
+			groupLeft = 6 + rng.Intn(8)
+			prevRingFF = ""
+		}
+		groupLeft--
+		k := len(rp.ffs)
+		for i := 0; i < k; i++ {
+			prev := rp.ffs[(i+k-1)%k]
+			if rp.hops[i] == "" {
+				// Direct shift-register arc.
+				if _, err := c.AddGate(rp.ffs[i], netlist.DFF, prev); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			var f string
+			switch r := rng.Float64(); {
+			case r < 0.6 && prevRingFF != "":
+				f = prevRingFF // chain rings into one larger SCC
+			case r < 0.68:
+				f = b.recentSignal(rp.stage, rng) // nearby comb logic
+			default:
+				f = rp.ffs[rng.Intn(k)] // ring-internal
+			}
+			if f == "" || f == prev {
+				f = rp.ffs[i%k]
+				if f == prev {
+					f = "PI0"
+				}
+			}
+			if _, err := c.AddGate(rp.hops[i], netlist.Nand, prev, f); err != nil {
+				return nil, err
+			}
+			if _, err := c.AddGate(rp.ffs[i], netlist.DFF, rp.hops[i]); err != nil {
+				return nil, err
+			}
+		}
+		prevRingFF = rp.ffs[0]
+	}
+
+	// Wire pipeline flip-flops.
+	for _, pp := range pipes {
+		ins, err := b.pickFanins(pp.boundary, 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.AddGate(pp.name, netlist.DFF, ins...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Primary outputs: every unread signal becomes observable (real
+	// circuits have no dangling logic — leaving gates unobservable would
+	// wreck the fault-coverage experiments), plus a few random top-stage
+	// picks so there is always at least one PO per PI.
+	seen := make(map[string]bool)
+	for t := stages - 1; t >= 0; t-- {
+		for _, s := range b.unread[t] {
+			if !seen[s] {
+				seen[s] = true
+				c.AddOutput(s)
+			}
+		}
+	}
+	for len(seen) < spec.PIs {
+		s := b.pools[stages-1][rng.Intn(len(b.pools[stages-1]))]
+		if !seen[s] {
+			seen[s] = true
+			c.AddOutput(s)
+		}
+	}
+	// Any primary input the blocks never consumed is at least routed to a
+	// primary output so the published input count stays meaningful.
+	for _, s := range b.mustUse {
+		if !seen[s] {
+			seen[s] = true
+			c.AddOutput(s)
+		}
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// builder tracks per-stage signal pools and unread signals for fanin
+// selection. unreadPos maps a signal name to its index in its stage's
+// unread list so removal is O(1).
+type builder struct {
+	c         *netlist.Circuit
+	rng       *rand.Rand
+	pools     [][]string
+	unread    [][]string
+	unreadPos map[string]int
+	cumSize   []int
+	// block is the current local block's signal pool (interface signals
+	// plus the block's own gate outputs).
+	block []string
+	// mustUse queues signals that must appear as a fanin somewhere
+	// (primary inputs); blockMust holds the current block's share, consumed
+	// by the block's first gates.
+	mustUse   []string
+	blockMust []string
+	// blockUnread tracks current-block outputs not yet read, so block
+	// logic chains into cones instead of leaving dangling gates.
+	blockUnread []string
+	// invOf maps an inverter output to its input, so gates avoid reading a
+	// signal together with its complement (which would synthesise constant
+	// — untestable — logic).
+	invOf map[string]string
+	// bus is the current region bus (see startBlock); busLeft counts the
+	// blocks remaining before a refresh and busStage is the stage the bus
+	// was drawn at.
+	bus      []string
+	busLeft  int
+	busStage int
+}
+
+// addToBlock registers a freshly created signal in the current block.
+func (b *builder) addToBlock(name string) {
+	b.block = append(b.block, name)
+	b.blockUnread = append(b.blockUnread, name)
+}
+
+// desaturate replaces fanins that are complements of other fanins (x
+// together with NOT(x) makes AND/NOR outputs constant). The replacement is
+// drawn from the stage pools; if no clean signal is found the pair is left
+// in place (rare, harmless).
+func (b *builder) desaturate(stage int, ins []string, rng *rand.Rand) {
+	conflict := func(a, x string) bool {
+		return b.invOf[a] == x || b.invOf[x] == a
+	}
+	for i := 1; i < len(ins); i++ {
+		bad := false
+		for j := 0; j < i; j++ {
+			if conflict(ins[i], ins[j]) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			continue
+		}
+		for try := 0; try < 8; try++ {
+			var cand string
+			if len(b.block) > 0 && try < 5 {
+				cand = b.block[rng.Intn(len(b.block))] // stay block-local
+			} else {
+				picked, err := b.pickFanins(stage, 1)
+				if err != nil {
+					return
+				}
+				cand = picked[0]
+			}
+			ok := cand != ""
+			for j := range ins {
+				if j != i && (ins[j] == cand || conflict(cand, ins[j])) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ins[i] = cand
+				break
+			}
+		}
+	}
+}
+
+// recentSignal picks a signal from the tail window of the stage's pool
+// (locally recent logic), falling back to any pool signal.
+func (b *builder) recentSignal(stage int, rng *rand.Rand) string {
+	pool := b.pools[stage]
+	if len(pool) == 0 {
+		for t := stage - 1; t >= 0; t-- {
+			if len(b.pools[t]) > 0 {
+				pool = b.pools[t]
+				break
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return ""
+	}
+	window := 40
+	if window > len(pool) {
+		window = len(pool)
+	}
+	return pool[len(pool)-1-rng.Intn(window)]
+}
+
+// startBlock begins a new local block at the given stage. Its interface
+// mixes the stage's current "region bus" — a slowly refreshed set of
+// signals shared by neighbouring blocks, the way real designs share local
+// control and data lines — with pending mandatory signals (unused PIs) and
+// the odd fresh pick. Shared interfaces are what lets Assign_CBIT merge
+// neighbouring blocks without blowing the input budget.
+func (b *builder) startBlock(stage int, rng *rand.Rand) error {
+	b.block = b.block[:0]
+	b.blockMust = b.blockMust[:0]
+	b.blockUnread = b.blockUnread[:0]
+	for len(b.mustUse) > 0 && len(b.block) < 2 {
+		s := b.mustUse[len(b.mustUse)-1]
+		b.mustUse = b.mustUse[:len(b.mustUse)-1]
+		b.block = append(b.block, s)
+		b.blockMust = append(b.blockMust, s)
+	}
+	// Refresh the region bus every ~10 blocks (and whenever the stage
+	// changes, since bus lines must be readable at the current stage).
+	if b.busLeft == 0 || b.busStage != stage || len(b.bus) == 0 {
+		b.busLeft = 8 + rng.Intn(6)
+		b.busStage = stage
+		n := 6 + rng.Intn(4)
+		bus, err := b.pickFanins(stage, n)
+		if err != nil {
+			bus, err = b.pickFanins(stage, 1)
+			if err != nil {
+				return err
+			}
+		}
+		b.bus = bus
+	}
+	b.busLeft--
+	// Two or three bus lines plus at most one fresh signal.
+	for i := 0; i < 2+rng.Intn(2) && i < len(b.bus); i++ {
+		b.block = append(b.block, b.bus[rng.Intn(len(b.bus))])
+	}
+	if rng.Intn(2) == 0 {
+		if ins, err := b.pickFanins(stage, 1); err == nil {
+			b.block = append(b.block, ins...)
+		}
+	}
+	return nil
+}
+
+// pickLocalFanins picks n distinct fanins, preferring the current block.
+func (b *builder) pickLocalFanins(stage, n int, rng *rand.Rand) ([]string, error) {
+	out := make([]string, 0, n)
+	used := make(map[string]bool, n)
+	for len(out) < n {
+		if len(b.blockMust) > 0 {
+			cand := b.blockMust[len(b.blockMust)-1]
+			if !used[cand] {
+				b.blockMust = b.blockMust[:len(b.blockMust)-1]
+				used[cand] = true
+				out = append(out, cand)
+				continue
+			}
+		}
+		if len(b.blockUnread) > 0 && rng.Float64() < 0.25 {
+			// Chain onto an unread block output so cones stay connected.
+			i := rng.Intn(len(b.blockUnread))
+			cand := b.blockUnread[i]
+			b.blockUnread[i] = b.blockUnread[len(b.blockUnread)-1]
+			b.blockUnread = b.blockUnread[:len(b.blockUnread)-1]
+			if !used[cand] {
+				used[cand] = true
+				out = append(out, cand)
+				continue
+			}
+		}
+		if len(b.block) >= 2 && rng.Float64() < 0.85 {
+			cand := b.block[rng.Intn(len(b.block))]
+			if !used[cand] {
+				used[cand] = true
+				out = append(out, cand)
+				continue
+			}
+		}
+		rest, err := b.pickFanins(stage, 1)
+		if err != nil {
+			return nil, err
+		}
+		if used[rest[0]] {
+			// Fall back to any unused block signal, then any pool signal.
+			found := ""
+			for _, s := range b.block {
+				if !used[s] {
+					found = s
+					break
+				}
+			}
+			if found == "" {
+				for t := stage; t >= 0 && found == ""; t-- {
+					for _, s := range b.pools[t] {
+						if !used[s] {
+							found = s
+							break
+						}
+					}
+				}
+			}
+			if found == "" {
+				// Degenerate stage with fewer distinct signals than pins:
+				// duplicate a fanin (AND(a, a) is legal, if pointless).
+				found = out[0]
+				out = append(out, found)
+				continue
+			}
+			used[found] = true
+			out = append(out, found)
+			continue
+		}
+		used[rest[0]] = true
+		out = append(out, rest[0])
+	}
+	return out, nil
+}
+
+func (b *builder) addSignal(stage int, name string) {
+	if b.unreadPos == nil {
+		b.unreadPos = make(map[string]int)
+	}
+	b.pools[stage] = append(b.pools[stage], name)
+	b.unreadPos[name] = len(b.unread[stage])
+	b.unread[stage] = append(b.unread[stage], name)
+}
+
+func (b *builder) markRead(stage int, name string) {
+	p, ok := b.unreadPos[name]
+	if !ok {
+		return
+	}
+	u := b.unread[stage]
+	last := u[len(u)-1]
+	u[p] = last
+	b.unreadPos[last] = p
+	b.unread[stage] = u[:len(u)-1]
+	delete(b.unreadPos, name)
+}
+
+// pickFanins selects n distinct signals readable at the given stage,
+// preferring unread signals to keep fanout dense.
+func (b *builder) pickFanins(stage int, n int) ([]string, error) {
+	total := 0
+	for t := 0; t <= stage; t++ {
+		total += len(b.pools[t])
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("bench89: no signals available at stage %d", stage)
+	}
+	out := make([]string, 0, n)
+	used := make(map[string]bool, n)
+	for len(out) < n {
+		var cand string
+		var candStage int
+		if b.rng.Float64() < 0.6 {
+			// Prefer an unread signal at the highest populated stage <= stage.
+			for t := stage; t >= 0; t-- {
+				if len(b.unread[t]) > 0 {
+					cand = b.unread[t][b.rng.Intn(len(b.unread[t]))]
+					candStage = t
+					break
+				}
+			}
+		}
+		if cand == "" {
+			// Uniform over all pools <= stage.
+			r := b.rng.Intn(total)
+			for t := 0; t <= stage; t++ {
+				if r < len(b.pools[t]) {
+					cand = b.pools[t][r]
+					candStage = t
+					break
+				}
+				r -= len(b.pools[t])
+			}
+		}
+		if used[cand] {
+			// Distinctness retry: fall back to scanning for any unused.
+			cand = ""
+			for t := stage; t >= 0 && cand == ""; t-- {
+				for _, s := range b.pools[t] {
+					if !used[s] {
+						cand = s
+						candStage = t
+						break
+					}
+				}
+			}
+			if cand == "" {
+				// Fewer distinct signals than pins: duplicate.
+				cand = out[0]
+				out = append(out, cand)
+				continue
+			}
+		}
+		used[cand] = true
+		out = append(out, cand)
+		b.markRead(candStage, cand)
+	}
+	return out, nil
+}
+
+// splitBudget spreads n items over k buckets with mild randomness.
+func splitBudget(n, k int, rng *rand.Rand) []int {
+	out := make([]int, k)
+	base := n / k
+	for i := range out {
+		out[i] = base
+	}
+	for i := 0; i < n-base*k; i++ {
+		out[rng.Intn(k)]++
+	}
+	// Shuffle +/- 10% between adjacent buckets for texture.
+	for i := 0; i+1 < k; i++ {
+		d := out[i] / 10
+		if d > 0 {
+			m := rng.Intn(2*d+1) - d
+			if out[i]-m >= 0 && out[i+1]+m >= 0 {
+				out[i] -= m
+				out[i+1] += m
+			}
+		}
+	}
+	return out
+}
+
+// pickArea chooses the next gate's target area (2..5 units) to track the
+// remaining budget.
+func pickArea(remaining float64, gatesLeft int) float64 {
+	if gatesLeft <= 0 {
+		return 2
+	}
+	target := remaining / float64(gatesLeft)
+	switch {
+	case target >= 4.5:
+		return 5
+	case target >= 3.5:
+		return 4
+	case target >= 2.5:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// pickGate maps a target area to a concrete gate type and fanin count.
+func pickGate(rng *rand.Rand, area float64) (netlist.GateType, int) {
+	switch area {
+	case 5:
+		// AND4/OR4 (3+2 extra? no: base 3 + 2 extra = 5 with fanin 4).
+		if rng.Intn(2) == 0 {
+			return netlist.And, 4
+		}
+		return netlist.Or, 4
+	case 4:
+		switch rng.Intn(3) {
+		case 0:
+			return netlist.Xor, 2
+		case 1:
+			return netlist.And, 3
+		default:
+			return netlist.Or, 3
+		}
+	case 3:
+		switch rng.Intn(4) {
+		case 0:
+			return netlist.And, 2
+		case 1:
+			return netlist.Or, 2
+		case 2:
+			return netlist.Nand, 3
+		default:
+			return netlist.Nor, 3
+		}
+	default:
+		if rng.Intn(2) == 0 {
+			return netlist.Nand, 2
+		}
+		return netlist.Nor, 2
+	}
+}

@@ -1,0 +1,66 @@
+package cbit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Aliasing analysis for the PSA mode: a faulty response stream aliases when
+// its MISR signature collides with the fault-free one. For a maximal-length
+// feedback polynomial and long random error streams the aliasing
+// probability approaches 2^-w — the classic justification for the paper's
+// signature-based pass/fail decision.
+
+// TheoreticalAliasing returns the asymptotic aliasing probability 2^-width.
+func TheoreticalAliasing(width int) float64 {
+	return math.Pow(2, -float64(width))
+}
+
+// AliasingEstimate measures the aliasing rate empirically: for trials
+// random nonzero error streams of the given length, it counts how often
+// the erroneous stream folds to the fault-free signature.
+func AliasingEstimate(width, streamLen, trials int, seed int64) (float64, error) {
+	if width < MinWidth || width > MaxWidth {
+		return 0, fmt.Errorf("cbit: unsupported width %d", width)
+	}
+	if streamLen < 1 || trials < 1 {
+		return 0, fmt.Errorf("cbit: streamLen and trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mask := uint64(1)<<uint(width) - 1
+	aliased := 0
+	for tr := 0; tr < trials; tr++ {
+		good, err := New(width)
+		if err != nil {
+			return 0, err
+		}
+		bad, err := New(width)
+		if err != nil {
+			return 0, err
+		}
+		// Random response stream; the faulty machine sees it XOR a random
+		// nonzero error stream (at least one erroneous word).
+		anyErr := false
+		for i := 0; i < streamLen; i++ {
+			r := rng.Uint64() & mask
+			e := uint64(0)
+			if i == streamLen-1 && !anyErr {
+				for e == 0 {
+					e = rng.Uint64() & mask
+				}
+			} else if rng.Intn(4) == 0 {
+				e = rng.Uint64() & mask
+			}
+			if e != 0 {
+				anyErr = true
+			}
+			good.StepPSA(r)
+			bad.StepPSA(r ^ e)
+		}
+		if good.State() == bad.State() {
+			aliased++
+		}
+	}
+	return float64(aliased) / float64(trials), nil
+}

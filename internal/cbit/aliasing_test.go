@@ -1,0 +1,55 @@
+package cbit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTheoreticalAliasing(t *testing.T) {
+	if TheoreticalAliasing(8) != 1.0/256 {
+		t.Fatal("2^-8 wrong")
+	}
+	if TheoreticalAliasing(16) != 1.0/65536 {
+		t.Fatal("2^-16 wrong")
+	}
+}
+
+func TestAliasingEstimateMatchesTheory(t *testing.T) {
+	// For a 4-bit MISR, theory predicts ~1/16 aliasing for long random
+	// error streams. With 8000 trials the estimate should land within a
+	// few standard deviations (sigma ~ sqrt(p(1-p)/n) ~ 0.0027).
+	got, err := AliasingEstimate(4, 48, 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TheoreticalAliasing(4)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("aliasing estimate %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestAliasingEstimateWiderIsRarer(t *testing.T) {
+	a4, err := AliasingEstimate(4, 32, 4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a12, err := AliasingEstimate(12, 32, 4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a12 >= a4 && a4 > 0 {
+		t.Fatalf("wider MISR aliases more: w4=%.4f w12=%.4f", a4, a12)
+	}
+}
+
+func TestAliasingEstimateValidation(t *testing.T) {
+	if _, err := AliasingEstimate(1, 10, 10, 1); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+	if _, err := AliasingEstimate(8, 0, 10, 1); err == nil {
+		t.Fatal("zero stream accepted")
+	}
+	if _, err := AliasingEstimate(8, 10, 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

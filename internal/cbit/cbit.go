@@ -1,0 +1,170 @@
+package cbit
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mode is a CBIT operating mode (paper section 1: dual-mode test registers
+// linked by a scan chain).
+type Mode int
+
+const (
+	// ModeNormal passes functional data through (self-test off).
+	ModeNormal Mode = iota
+	// ModeTPG makes the CBIT an autonomous maximal-length LFSR producing
+	// pseudo-exhaustive test patterns for the succeeding CUT.
+	ModeTPG
+	// ModePSA makes the CBIT a multiple-input signature register absorbing
+	// the preceding CUT's responses.
+	ModePSA
+	// ModeScan shifts the register serially for initialisation and
+	// signature read-out.
+	ModeScan
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeTPG:
+		return "tpg"
+	case ModePSA:
+		return "psa"
+	case ModeScan:
+		return "scan"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// CBIT is one cascadable built-in tester: Width A_CELLs with a primitive
+// feedback polynomial. The zero value is unusable; use New.
+type CBIT struct {
+	Width int
+	Mode  Mode
+
+	state uint64
+	taps  uint64
+	mask  uint64
+}
+
+// New builds a CBIT of the given width (2..32) in normal mode with the
+// all-ones initial state (any nonzero state works; all-ones matches a scan
+// preset of 1s).
+func New(width int) (*CBIT, error) {
+	if _, err := PrimitiveTaps(width); err != nil {
+		return nil, err
+	}
+	mask := uint64(1)<<uint(width) - 1
+	return &CBIT{Width: width, Mode: ModeNormal, state: mask, taps: tapMask(width), mask: mask}, nil
+}
+
+// State returns the current register contents (low Width bits).
+func (c *CBIT) State() uint64 { return c.state }
+
+// SetState loads the register (e.g. via the scan chain). TPG mode requires a
+// nonzero state to avoid the LFSR lock-up state; SetState rejects zero.
+func (c *CBIT) SetState(s uint64) error {
+	s &= c.mask
+	if s == 0 {
+		return fmt.Errorf("cbit: zero state would lock up the %d-bit LFSR", c.Width)
+	}
+	c.state = s
+	return nil
+}
+
+// feedbackBit computes the XOR of the tap positions of the current state.
+func (c *CBIT) feedbackBit() uint64 {
+	return uint64(bits.OnesCount64(c.state&c.taps) & 1)
+}
+
+// StepTPG advances the LFSR one clock and returns the new state, which is
+// the test pattern applied to the CUT inputs this cycle. The sequence visits
+// all 2^Width-1 nonzero states (pseudo-exhaustive; the all-zero pattern is
+// covered separately by the scan preset, matching standard PET practice).
+func (c *CBIT) StepTPG() uint64 {
+	fb := c.feedbackBit()
+	c.state = ((c.state << 1) | fb) & c.mask
+	return c.state
+}
+
+// StepPSA absorbs one response word into the signature: a standard MISR
+// step, shifting with primitive feedback and XORing the parallel input.
+func (c *CBIT) StepPSA(response uint64) uint64 {
+	fb := c.feedbackBit()
+	c.state = (((c.state << 1) | fb) ^ (response & c.mask)) & c.mask
+	return c.state
+}
+
+// ScanShift shifts one bit in at the serial input and returns the bit that
+// falls off the serial output (MSB out, LSB in).
+func (c *CBIT) ScanShift(in uint64) (out uint64) {
+	out = (c.state >> uint(c.Width-1)) & 1
+	c.state = ((c.state << 1) | (in & 1)) & c.mask
+	return out
+}
+
+// Period returns the TPG sequence period, 2^Width - 1.
+func (c *CBIT) Period() uint64 {
+	return c.mask
+}
+
+// TestingTime returns the pseudo-exhaustive testing time in clock cycles for
+// a CUT driven by a width-w CBIT: O(2^w) (paper Figure 1(b) / Figure 4).
+func TestingTime(width int) float64 {
+	return pow2(width)
+}
+
+func pow2(w int) float64 {
+	v := 1.0
+	for i := 0; i < w; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// Chain is a scan chain linking every CBIT in the design for global
+// initialisation and signature read-out (paper section 1).
+type Chain struct {
+	Regs []*CBIT
+}
+
+// TotalBits returns the scan-chain length in bits.
+func (ch *Chain) TotalBits() int {
+	n := 0
+	for _, r := range ch.Regs {
+		n += r.Width
+	}
+	return n
+}
+
+// ShiftIn loads the concatenated states via TotalBits serial shifts.
+// bits[0] is the first bit shifted in; after the full shift, the earliest
+// bits end up deepest in the chain (the last register).
+func (ch *Chain) ShiftIn(bitsIn []uint64) error {
+	if len(bitsIn) != ch.TotalBits() {
+		return fmt.Errorf("cbit: scan stream length %d, chain needs %d", len(bitsIn), ch.TotalBits())
+	}
+	for _, b := range bitsIn {
+		carry := b & 1
+		for _, r := range ch.Regs {
+			carry = r.ScanShift(carry)
+		}
+	}
+	return nil
+}
+
+// ShiftOut reads the whole chain out serially (destructively, zero-filling),
+// returning TotalBits bits in shift order.
+func (ch *Chain) ShiftOut() []uint64 {
+	n := ch.TotalBits()
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		carry := uint64(0)
+		for _, r := range ch.Regs {
+			carry = r.ScanShift(carry)
+		}
+		out = append(out, carry)
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package cbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveTapsAvailable(t *testing.T) {
+	for w := MinWidth; w <= MaxWidth; w++ {
+		taps, err := PrimitiveTaps(w)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if len(taps) < 2 {
+			t.Fatalf("width %d: %d taps", w, len(taps))
+		}
+		if taps[0] != w {
+			t.Fatalf("width %d: leading tap %d", w, taps[0])
+		}
+		for _, tp := range taps {
+			if tp < 1 || tp > w {
+				t.Fatalf("width %d: tap %d out of range", w, tp)
+			}
+		}
+	}
+	if _, err := PrimitiveTaps(1); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+	if _, err := PrimitiveTaps(33); err == nil {
+		t.Fatal("width 33 accepted")
+	}
+}
+
+// TestLFSRFullPeriod verifies maximal length for every width up to 20
+// (exhaustively walking 2^w - 1 states) — the core pseudo-exhaustive
+// property of the CBIT TPG mode.
+func TestLFSRFullPeriod(t *testing.T) {
+	for w := MinWidth; w <= 20; w++ {
+		c, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := c.State()
+		period := uint64(0)
+		want := c.Period()
+		seen := false
+		for {
+			s := c.StepTPG()
+			period++
+			if s == 0 {
+				t.Fatalf("width %d: LFSR hit the zero state", w)
+			}
+			if s == start {
+				seen = true
+				break
+			}
+			if period > want {
+				break
+			}
+		}
+		if !seen || period != want {
+			t.Fatalf("width %d: period %d, want %d", w, period, want)
+		}
+	}
+}
+
+func TestLFSRSpotCheckWide(t *testing.T) {
+	// For wide registers, check a long prefix is zero-free and non-repeating
+	// in a small window.
+	for _, w := range []int{24, 32} {
+		c, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]bool)
+		for i := 0; i < 1<<16; i++ {
+			s := c.StepTPG()
+			if s == 0 {
+				t.Fatalf("width %d: zero state", w)
+			}
+			if seen[s] {
+				t.Fatalf("width %d: premature repeat after %d steps", w, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	c, _ := New(8)
+	if err := c.SetState(0); err == nil {
+		t.Fatal("zero state accepted")
+	}
+	if err := c.SetState(0x1FF); err != nil { // masked to 0xFF, nonzero
+		t.Fatal(err)
+	}
+	if c.State() != 0xFF {
+		t.Fatalf("state = %x", c.State())
+	}
+}
+
+func TestMISRDetectsDifference(t *testing.T) {
+	// Identical response streams give identical signatures; a single-bit
+	// difference gives a different signature (no aliasing for one error).
+	a, _ := New(16)
+	b, _ := New(16)
+	stream := []uint64{1, 2, 3, 0xFFFF, 42, 7, 9, 0}
+	for _, r := range stream {
+		a.StepPSA(r)
+		b.StepPSA(r)
+	}
+	if a.State() != b.State() {
+		t.Fatal("identical streams, different signatures")
+	}
+	a2, _ := New(16)
+	b2, _ := New(16)
+	for i, r := range stream {
+		a2.StepPSA(r)
+		if i == 3 {
+			r ^= 1
+		}
+		b2.StepPSA(r)
+	}
+	if a2.State() == b2.State() {
+		t.Fatal("single-bit error aliased")
+	}
+}
+
+// Property: MISR is linear — a single injected error is never cancelled by
+// further error-free cycles (the error polynomial just shifts).
+func TestMISRSingleErrorNeverAliases(t *testing.T) {
+	f := func(seed int64, errBitRaw uint8, tail uint8) bool {
+		w := 16
+		a, _ := New(w)
+		b, _ := New(w)
+		errBit := uint64(1) << (uint(errBitRaw) % uint(w))
+		b.StepPSA(errBit)
+		a.StepPSA(0)
+		for i := 0; i < int(tail); i++ {
+			a.StepPSA(0)
+			b.StepPSA(0)
+		}
+		return a.State() != b.State()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanShift(t *testing.T) {
+	c, _ := New(4)
+	if err := c.SetState(0b1010); err != nil {
+		t.Fatal(err)
+	}
+	// Shift 4 bits out; MSB first.
+	var got []uint64
+	for i := 0; i < 4; i++ {
+		got = append(got, c.ScanShift(0))
+	}
+	want := []uint64{1, 0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan out = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChainShift(t *testing.T) {
+	a, _ := New(4)
+	b, _ := New(4)
+	ch := &Chain{Regs: []*CBIT{a, b}}
+	if ch.TotalBits() != 8 {
+		t.Fatalf("total bits = %d", ch.TotalBits())
+	}
+	in := []uint64{1, 0, 1, 0, 1, 1, 0, 0}
+	if err := ch.ShiftIn(in); err != nil {
+		t.Fatal(err)
+	}
+	out := ch.ShiftOut()
+	if len(out) != 8 {
+		t.Fatalf("out bits = %d", len(out))
+	}
+	// Shifting a chain in and straight back out returns the stream.
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("chain roundtrip: out=%v in=%v", out, in)
+		}
+	}
+	if err := ch.ShiftIn([]uint64{1}); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{ModeNormal: "normal", ModeTPG: "tpg", ModePSA: "psa", ModeScan: "scan"} {
+		if m.String() != want {
+			t.Fatalf("%v", m)
+		}
+	}
+}
+
+func TestTestingTime(t *testing.T) {
+	if TestingTime(4) != 16 || TestingTime(16) != 65536 {
+		t.Fatal("testing time wrong")
+	}
+	if got := TestingTime(32); got != math.Pow(2, 32) {
+		t.Fatalf("2^32 = %v", got)
+	}
+}
+
+func TestAreaReproducesTable1(t *testing.T) {
+	// Paper Table 1 values; our model must match within 0.1 DFF.
+	want := map[int]float64{4: 8.14, 8: 16.68, 12: 24.48, 16: 32.21, 24: 47.66, 32: 63.12}
+	for w, p := range want {
+		got := Area(w)
+		if math.Abs(got-p) > 0.1 {
+			t.Errorf("Area(%d) = %.3f, paper %.2f", w, got, p)
+		}
+	}
+}
+
+func TestAreaPerBitShape(t *testing.T) {
+	// Figure 4 shape: sigma decreases from d2 onward as length grows.
+	s8, s16, s24, s32 := AreaPerBit(8), AreaPerBit(16), AreaPerBit(24), AreaPerBit(32)
+	if !(s8 > s16 && s16 > s24 && s24 > s32) {
+		t.Fatalf("per-bit areas not decreasing: %v %v %v %v", s8, s16, s24, s32)
+	}
+	if AreaPerBit(0) != 0 {
+		t.Fatal("AreaPerBit(0)")
+	}
+}
+
+func TestTypeFor(t *testing.T) {
+	cases := map[int]int{1: 4, 4: 4, 5: 8, 12: 12, 13: 16, 17: 24, 25: 32, 32: 32}
+	for in, want := range cases {
+		w, ok := TypeFor(in)
+		if !ok || w != want {
+			t.Errorf("TypeFor(%d) = %d,%v want %d", in, w, ok, want)
+		}
+	}
+	if _, ok := TypeFor(33); ok {
+		t.Fatal("TypeFor(33) should fail")
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Type != "d1" || rows[5].Type != "d6" {
+		t.Fatalf("types: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.PerBit <= 0 || r.AreaDFF <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestACellAreas(t *testing.T) {
+	if ACellArea() != 19 {
+		t.Fatalf("A_CELL = %v, want 19", ACellArea())
+	}
+	if ACellMuxArea() != 23 {
+		t.Fatalf("A_CELL+MUX = %v, want 23", ACellMuxArea())
+	}
+	if RetimedACellArea() != 9 {
+		t.Fatalf("retimed = %v, want 9", RetimedACellArea())
+	}
+}

@@ -1,0 +1,83 @@
+// Package cbit models the Cascadable Built-In Testers of PPET: dual-mode
+// test registers built from A_CELLs that act as pseudo-exhaustive test
+// pattern generators (maximal-length LFSRs) or parallel signature analysers
+// (MISRs), plus the scan chain used for initialisation and signature
+// read-out, and the CMOS area model of the paper's Figure 3 and Table 1.
+package cbit
+
+import "fmt"
+
+// primitiveTaps maps register length to the exponents of a primitive
+// feedback polynomial over GF(2) (standard maximal-length LFSR tap table;
+// the leading term of degree n is implied by the map key being listed
+// first). A register of length n with these taps cycles through all 2^n-1
+// nonzero states.
+var primitiveTaps = map[int][]int{
+	2:  {2, 1},
+	3:  {3, 2},
+	4:  {4, 3},
+	5:  {5, 3},
+	6:  {6, 5},
+	7:  {7, 6},
+	8:  {8, 6, 5, 4},
+	9:  {9, 5},
+	10: {10, 7},
+	11: {11, 9},
+	12: {12, 6, 4, 1},
+	13: {13, 4, 3, 1},
+	14: {14, 5, 3, 1},
+	15: {15, 14},
+	16: {16, 15, 13, 4},
+	17: {17, 14},
+	18: {18, 11},
+	19: {19, 6, 2, 1},
+	20: {20, 17},
+	21: {21, 19},
+	22: {22, 21},
+	23: {23, 18},
+	24: {24, 23, 22, 17},
+	25: {25, 22},
+	26: {26, 6, 2, 1},
+	27: {27, 5, 2, 1},
+	28: {28, 25},
+	29: {29, 27},
+	30: {30, 6, 4, 1},
+	31: {31, 28},
+	32: {32, 22, 2, 1},
+}
+
+// MaxWidth is the largest supported CBIT width.
+const MaxWidth = 32
+
+// MinWidth is the smallest supported CBIT width.
+const MinWidth = 2
+
+// PrimitiveTaps returns the tap exponents of a primitive polynomial of the
+// given degree (CBIT width), or an error if the width is unsupported.
+func PrimitiveTaps(width int) ([]int, error) {
+	taps, ok := primitiveTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("cbit: no primitive polynomial of degree %d (supported %d..%d)", width, MinWidth, MaxWidth)
+	}
+	return taps, nil
+}
+
+// XorCount returns the number of 2-input XOR gates in the feedback network
+// for the given width: number of taps minus one.
+func XorCount(width int) int {
+	taps, ok := primitiveTaps[width]
+	if !ok {
+		return 0
+	}
+	return len(taps) - 1
+}
+
+// tapMask returns the taps as a bit mask (bit i set means exponent i+1 is a
+// tap), for fast stepping.
+func tapMask(width int) uint64 {
+	var m uint64
+	for _, t := range primitiveTaps[width] {
+		m |= 1 << uint(t-1)
+	}
+	return m
+}

@@ -1,0 +1,267 @@
+// Package core is Merced, the paper's BIST compiler (Table 2): it reads a
+// circuit, identifies strongly connected components, saturates the network
+// with probabilistic multicommodity flow, partitions it under the input
+// constraint l_k with the Eq. (6) retiming budget, merges clusters into
+// CBITs, and prices the resulting test hardware with and without retiming
+// (the Table 10-12 pipeline).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cbit"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/retime"
+)
+
+// Options configures a Merced compilation.
+type Options struct {
+	// LK is the input-size constraint l_k (paper experiments: 16 and 24).
+	LK int
+	// Beta relaxes the Eq. (6) SCC cut budget (paper: 50).
+	Beta int
+	// Seed drives every stochastic step.
+	Seed int64
+	// Flow overrides the Saturate_Network parameters; zero-value fields
+	// fall back to the paper defaults with Seed.
+	Flow *flow.Config
+	// SkipAssign stops after Make_Group (no CBIT merging pass).
+	SkipAssign bool
+	// RefinePasses runs the greedy boundary-refinement pass after
+	// Assign_CBIT (0 disables; DefaultOptions uses 2).
+	RefinePasses int
+	// SolveRetiming runs the Leiserson-Saxe difference-constraint solver to
+	// produce concrete retiming labels; its covered/demoted split is the
+	// faithful per-cycle (Corollary 2) accounting used for Table 12. When
+	// it is off or the circuit exceeds MaxSolveNodes, the coarse per-SCC
+	// bound retime.CoverageBySCC prices the report instead.
+	SolveRetiming bool
+	// MaxSolveNodes caps SolveRetiming (0: 300000 nodes, i.e. always on
+	// for the paper's benchmark sizes).
+	MaxSolveNodes int
+	// Locked nodes are excluded from clustering (Table 5 STEP 2.1).
+	Locked map[int]bool
+}
+
+// DefaultOptions returns the paper's experimental configuration for a
+// given l_k.
+func DefaultOptions(lk int, seed int64) Options {
+	return Options{LK: lk, Beta: 50, Seed: seed, SolveRetiming: true, RefinePasses: 2}
+}
+
+// AreaReport prices the CBIT hardware per the paper's Table 12 accounting:
+// with retiming, each covered cut net adds 0.9 DFF (three gates convert a
+// repositioned functional register into an A_CELL) and each excess cut net
+// on an SCC adds a multiplexed A_CELL at 2.3 DFF; without retiming every
+// internal cut net takes the full multiplexed A_CELL.
+type AreaReport struct {
+	CircuitArea float64
+
+	DFFs      int
+	DFFsOnSCC int
+
+	CutNets      int
+	CutNetsOnSCC int
+
+	// CoveredCuts / ExcessCuts split CutNets under the per-SCC register
+	// budget (Corollary 2).
+	CoveredCuts int
+	ExcessCuts  int
+
+	CBITAreaRetimed    float64
+	CBITAreaNonRetimed float64
+
+	// RatioRetimed/RatioNonRetimed are A_CBIT/A_Total percentages, where
+	// A_Total = circuit area + CBIT area.
+	RatioRetimed    float64
+	RatioNonRetimed float64
+}
+
+// Saving returns the Table 12 percentage-point saving of retiming.
+func (a AreaReport) Saving() float64 { return a.RatioNonRetimed - a.RatioRetimed }
+
+// Phases breaks the compilation time down per pipeline stage.
+type Phases struct {
+	Graph    time.Duration
+	SCC      time.Duration
+	Saturate time.Duration
+	Group    time.Duration
+	Assign   time.Duration
+	Retime   time.Duration
+}
+
+// Result is a complete Merced compilation.
+type Result struct {
+	Circuit   *netlist.Circuit
+	Graph     *graph.G
+	SCC       *graph.SCCInfo
+	Flow      *flow.Result
+	Partition *partition.Result
+	Merges    []partition.MergeTrace
+	Areas     AreaReport
+	// Retiming holds the difference-constraint solution when
+	// Options.SolveRetiming ran.
+	Retiming *retime.Solution
+	Elapsed  time.Duration
+	Phases   Phases
+}
+
+// Compile runs the full Merced pipeline of Table 2 on the circuit.
+func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
+	if c == nil {
+		return nil, errors.New("core: nil circuit")
+	}
+	if opt.LK < 1 {
+		return nil, errors.New("core: LK must be positive")
+	}
+	if opt.Beta < 1 {
+		opt.Beta = 1
+	}
+	start := time.Now()
+	var ph Phases
+	mark := start
+
+	// STEP 1: graph representation.
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: building graph: %w", err)
+	}
+	ph.Graph, mark = lap(mark)
+
+	// STEP 2: strongly connected components.
+	scc := g.SCC()
+	ph.SCC, mark = lap(mark)
+
+	// STEP 3a: Saturate_Network.
+	fcfg := flow.DefaultConfig(opt.Seed)
+	if opt.Flow != nil {
+		fcfg = *opt.Flow
+		if fcfg.Capacity == 0 {
+			fcfg.Capacity = 1
+		}
+		if fcfg.Alpha == 0 {
+			fcfg.Alpha = 4
+		}
+		if fcfg.Delta == 0 {
+			fcfg.Delta = 0.01
+		}
+	}
+	fres, err := flow.Saturate(g, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: saturate network: %w", err)
+	}
+	ph.Saturate, mark = lap(mark)
+
+	// STEP 3b: Make_Group under the input constraint and Eq. (6) budget.
+	d := append([]float64(nil), fres.D...)
+	pres, err := partition.MakeGroup(g, scc, d, partition.Options{LK: opt.LK, Beta: opt.Beta, Locked: opt.Locked})
+	if err != nil {
+		return nil, fmt.Errorf("core: make group: %w", err)
+	}
+	ph.Group, mark = lap(mark)
+
+	// STEP 3c: Assign_CBIT greedy merging, plus the optional boundary
+	// refinement pass.
+	var merges []partition.MergeTrace
+	if !opt.SkipAssign {
+		merges, err = partition.AssignCBIT(pres, opt.LK)
+		if err != nil {
+			return nil, fmt.Errorf("core: assign CBIT: %w", err)
+		}
+		if opt.RefinePasses > 0 {
+			partition.Refine(pres, opt.LK, opt.RefinePasses)
+		}
+	}
+	ph.Assign, mark = lap(mark)
+
+	res := &Result{
+		Circuit:   c,
+		Graph:     g,
+		SCC:       scc,
+		Flow:      fres,
+		Partition: pres,
+		Merges:    merges,
+	}
+	if opt.SolveRetiming {
+		limit := opt.MaxSolveNodes
+		if limit == 0 {
+			limit = 300000
+		}
+		if g.NumNodes() <= limit {
+			sol, err := solveRetiming(g, scc, pres, fres)
+			if err != nil {
+				return nil, fmt.Errorf("core: retiming solver: %w", err)
+			}
+			res.Retiming = sol
+		}
+	}
+	ph.Retime, mark = lap(mark)
+	_ = mark
+	res.Areas = priceAreas(c, g, scc, pres, res.Retiming)
+	res.Phases = ph
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func lap(since time.Time) (time.Duration, time.Time) {
+	now := time.Now()
+	return now.Sub(since), now
+}
+
+func priceAreas(c *netlist.Circuit, g *graph.G, scc *graph.SCCInfo, p *partition.Result, sol *retime.Solution) AreaReport {
+	a := AreaReport{
+		CircuitArea:  c.Area(),
+		DFFs:         c.NumDFFs(),
+		DFFsOnSCC:    g.RegsOnSCC(scc),
+		CutNets:      p.NumCutNets(),
+		CutNetsOnSCC: p.NumCutNetsOnSCC(),
+	}
+	if sol != nil {
+		a.CoveredCuts = len(sol.Covered)
+		a.ExcessCuts = len(sol.Demoted)
+	} else {
+		cutsPerSCC := make(map[int]int)
+		for _, e := range p.CutNetsOnSCC {
+			cutsPerSCC[scc.NetComp[e]]++
+		}
+		regsPerSCC := make(map[int]int)
+		for comp := range cutsPerSCC {
+			regsPerSCC[comp] = scc.RegCount[comp]
+		}
+		offSCC := a.CutNets - a.CutNetsOnSCC
+		a.CoveredCuts, a.ExcessCuts = retime.CoverageBySCC(cutsPerSCC, regsPerSCC, offSCC)
+	}
+
+	a.CBITAreaRetimed = float64(a.CoveredCuts)*cbit.RetimedACellArea() +
+		float64(a.ExcessCuts)*cbit.ACellMuxArea()
+	a.CBITAreaNonRetimed = float64(a.CutNets) * cbit.ACellMuxArea()
+	a.RatioRetimed = ratio(a.CBITAreaRetimed, a.CircuitArea)
+	a.RatioNonRetimed = ratio(a.CBITAreaNonRetimed, a.CircuitArea)
+	return a
+}
+
+func ratio(cbitArea, circuitArea float64) float64 {
+	if cbitArea == 0 {
+		return 0
+	}
+	return 100 * cbitArea / (circuitArea + cbitArea)
+}
+
+func solveRetiming(g *graph.G, scc *graph.SCCInfo, p *partition.Result, f *flow.Result) (*retime.Solution, error) {
+	cg := retime.Build(g)
+	cuts := make(map[int]bool, len(p.CutNets))
+	for _, e := range p.CutNets {
+		cuts[e] = true
+	}
+	cg.SetRequirements(cuts)
+	priority := make(map[int]float64, len(p.CutNets))
+	for _, e := range p.CutNets {
+		priority[e] = f.D[e]
+	}
+	return retime.Solve(cg, cuts, priority)
+}

@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+)
+
+// ExampleCompile runs the full Merced pipeline on the paper's s27 example
+// and prints the partition verdict.
+func ExampleCompile() {
+	c, err := bench89.S27()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := core.Compile(c, core.DefaultOptions(3, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusters: %d (max %d inputs)\n", len(r.Partition.Clusters), r.Partition.MaxInputs())
+	fmt.Printf("cut nets: %d, covered by retiming: %d\n", r.Areas.CutNets, r.Areas.CoveredCuts)
+	fmt.Printf("retiming saves area: %v\n", r.Areas.CBITAreaRetimed < r.Areas.CBITAreaNonRetimed)
+	// Output:
+	// clusters: 3 (max 3 inputs)
+	// cut nets: 3, covered by retiming: 1
+	// retiming saves area: true
+}

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Collapse performs structural fault-equivalence collapsing on a segment's
+// stuck-at list using the classic single-fanout rules:
+//
+//   - NOT: SA0 on the input is equivalent to SA1 on the output (and vice
+//     versa) when the input signal has no other fanout;
+//   - BUF and DFF: input SAx is equivalent to output SAx under the same
+//     single-fanout condition.
+//
+// It returns representative faults only; every dropped fault is detected
+// iff its representative is, so simulating the collapsed list yields the
+// same coverage verdicts at lower cost. The mapping from representative to
+// its equivalence class is returned for reporting.
+func Collapse(c *netlist.Circuit, sg *sim.Segment, faults []sim.Fault) (reps []sim.Fault, classes map[sim.Fault][]sim.Fault) {
+	classes = make(map[sim.Fault][]sim.Fault)
+
+	// find follows inverter/buffer/register chains forward while the
+	// driven signal has exactly one fanout, flipping polarity through
+	// inverters. It stops at signals the segment does not know.
+	known := map[string]bool{}
+	for _, s := range sg.Signals() {
+		known[s] = true
+	}
+	var find func(f sim.Fault, depth int) sim.Fault
+	find = func(f sim.Fault, depth int) sim.Fault {
+		if depth > 64 {
+			return f
+		}
+		g := c.Gate(f.Signal)
+		var fanout []string
+		if g != nil {
+			fanout = g.Fanout()
+		} else if c.IsInput(f.Signal) {
+			fanout = inputFanout(c, f.Signal)
+		}
+		if len(fanout) != 1 {
+			return f
+		}
+		next := c.Gate(fanout[0])
+		if next == nil || !known[next.Name] {
+			return f
+		}
+		switch next.Type {
+		case netlist.Not:
+			return find(sim.Fault{Signal: next.Name, Stuck1: !f.Stuck1}, depth+1)
+		case netlist.Buf, netlist.DFF:
+			return find(sim.Fault{Signal: next.Name, Stuck1: f.Stuck1}, depth+1)
+		default:
+			return f
+		}
+	}
+
+	seen := map[sim.Fault]sim.Fault{}
+	for _, f := range faults {
+		rep := find(f, 0)
+		if _, ok := seen[rep]; !ok {
+			seen[rep] = rep
+			reps = append(reps, rep)
+		}
+		classes[rep] = append(classes[rep], f)
+	}
+	return reps, classes
+}
+
+func inputFanout(c *netlist.Circuit, in string) []string {
+	var out []string
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			if f == in {
+				out = append(out, g.Name)
+			}
+		}
+	}
+	return out
+}
+
+// CollapseRatio reports the size reduction achieved by Collapse.
+func CollapseRatio(original, collapsed int) float64 {
+	if original == 0 {
+		return 1
+	}
+	return float64(collapsed) / float64(original)
+}

@@ -1,0 +1,192 @@
+// Package fault provides single stuck-at fault enumeration and parallel
+// fault simulation over circuit segments, used to validate the PPET claim
+// of high fault coverage under pseudo-exhaustive per-segment testing.
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/cbit"
+	"repro/internal/sim"
+)
+
+// List enumerates the single stuck-at faults of a segment: SA0 and SA1 on
+// every signal the segment knows (external inputs, gate outputs, flip-flop
+// outputs). This is the uncollapsed output-fault list.
+func List(sg *sim.Segment) []sim.Fault {
+	sigs := sg.Signals()
+	out := make([]sim.Fault, 0, 2*len(sigs))
+	for _, s := range sigs {
+		out = append(out, sim.Fault{Signal: s, Stuck1: false}, sim.Fault{Signal: s, Stuck1: true})
+	}
+	return out
+}
+
+// Coverage is the result of a fault-simulation campaign.
+type Coverage struct {
+	Total    int
+	Detected int
+	Patterns uint64 // patterns applied per batch
+	Batches  int
+	// Undetected lists surviving faults (possibly redundant or sequentially
+	// untestable ones).
+	Undetected []sim.Fault
+}
+
+// Ratio returns detected/total (1.0 when the list is empty).
+func (c Coverage) Ratio() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(c.Total)
+}
+
+// Options tunes the campaign.
+type Options struct {
+	// MaxPatterns caps applied patterns; 0 means the full pseudo-exhaustive
+	// sequence 2^inputs - 1 (capped at 2^20 for tractability).
+	MaxPatterns uint64
+	// Seed drives the LFSR initial state choice.
+	Seed int64
+	// WarmUp cycles run before detection comparisons start, letting
+	// patterns pipeline through internal flip-flops; detection still uses
+	// every cycle's outputs, warm-up only pre-loads state.
+	WarmUp int
+}
+
+// Simulate runs parallel fault simulation: the segment's external inputs
+// are driven by a maximal-length LFSR exactly as the preceding CBIT in TPG
+// mode would, and a fault counts as detected when any boundary output
+// differs from the fault-free machine on any cycle (the succeeding CBIT in
+// PSA mode would absorb the difference into its signature). Faults are
+// packed 63 per batch (lane 0 is fault-free).
+func Simulate(sg *sim.Segment, faults []sim.Fault, opt Options) (Coverage, error) {
+	cov := Coverage{Total: len(faults)}
+	n := sg.NumInputs()
+	patterns := patternBudget(n, sg.NumDFFs(), opt.MaxPatterns)
+	cov.Patterns = patterns
+
+	width := n
+	if width < cbit.MinWidth {
+		width = cbit.MinWidth
+	}
+	if width > cbit.MaxWidth {
+		width = cbit.MaxWidth
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	outs := make([]uint64, sg.NumOutputs())
+	for start := 0; start < len(faults); start += 63 {
+		end := start + 63
+		if end > len(faults) {
+			end = len(faults)
+		}
+		batch := faults[start:end]
+		cov.Batches++
+
+		sg.ClearFaults()
+		for i, f := range batch {
+			if err := sg.InjectFault(f, i+1); err != nil {
+				return cov, err
+			}
+		}
+
+		// Sequential segments run several sessions, each preceded by a scan
+		// re-initialisation (fresh LFSR seed, cleared state): a single
+		// maximal-length orbit correlates pattern order with state and can
+		// systematically miss state-dependent faults.
+		sessions := 1
+		if sg.NumDFFs() > 0 {
+			sessions = 4
+		}
+		perSession := patterns / uint64(sessions)
+		if perSession == 0 {
+			perSession = 1
+		}
+		var detected uint64 // lane mask of detected faults in this batch
+		allLanes := laneMask(len(batch))
+		for s := 0; s < sessions && detected != allLanes; s++ {
+			tpg, err := cbit.New(width)
+			if err != nil {
+				return cov, err
+			}
+			seed := rng.Uint64()
+			if seed&tpgMask(width) == 0 {
+				seed = 1
+			}
+			if err := tpg.SetState(seed); err != nil {
+				return cov, err
+			}
+			st := sg.NewState()
+			// Warm-up (state pre-load) cycles.
+			for w := 0; w < opt.WarmUp; w++ {
+				sg.CycleOutputsInto(st, tpg.StepTPG(), outs)
+			}
+			for p := uint64(0); p < perSession && detected != allLanes; p++ {
+				pat := tpg.StepTPG()
+				sg.CycleOutputsInto(st, pat, outs)
+				for _, w := range outs {
+					ref := w & 1 // fault-free lane
+					var refw uint64
+					if ref != 0 {
+						refw = ^uint64(0)
+					}
+					detected |= (w ^ refw) & allLanes
+				}
+			}
+		}
+		for i, f := range batch {
+			if detected&(1<<uint(i+1)) != 0 {
+				cov.Detected++
+			} else {
+				cov.Undetected = append(cov.Undetected, f)
+			}
+		}
+	}
+	sg.ClearFaults()
+	return cov, nil
+}
+
+// patternBudget chooses the applied cycle count: the pseudo-exhaustive
+// sequence 2^inputs - 1, repeated a few times when the segment holds state
+// (patterns must pipeline through the internal flip-flops to excite and
+// propagate sequential faults). An explicit MaxPatterns overrides the
+// default; everything is capped at 2^20 cycles for tractability.
+func patternBudget(inputs, dffs int, max uint64) uint64 {
+	const cap20 = 1 << 20
+	if max != 0 {
+		if max > cap20 {
+			return cap20
+		}
+		return max
+	}
+	var full uint64
+	if inputs >= 63 {
+		full = cap20
+	} else {
+		full = uint64(1)<<uint(inputs) - 1
+	}
+	if full == 0 {
+		full = 1
+	}
+	if dffs > 0 {
+		repeat := uint64(4)
+		full *= repeat
+	}
+	if full > cap20 {
+		full = cap20
+	}
+	return full
+}
+
+func laneMask(n int) uint64 {
+	var m uint64
+	for i := 1; i <= n; i++ {
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+func tpgMask(width int) uint64 {
+	return uint64(1)<<uint(width) - 1
+}

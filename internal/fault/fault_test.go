@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// comb is a small purely combinational circuit: every stuck-at fault on it
+// is detectable by exhaustive patterns.
+const comb = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+n1 = NAND(a, b)
+n2 = NOR(b, c)
+y = XOR(n1, n2)
+z = AND(n1, c)
+`
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func wholeSegment(t *testing.T, text string) *sim.Segment {
+	t.Helper()
+	c, err := netlist.ParseBenchString("f", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, inputNets []int
+	for _, n := range g.Nodes {
+		if g.IsCell(n.ID) {
+			nodes = append(nodes, n.ID)
+		}
+	}
+	for e := range g.Nets {
+		if g.Nodes[g.Nets[e].Source].Kind == graph.KindPI {
+			inputNets = append(inputNets, e)
+		}
+	}
+	sg, err := sim.BuildSegment(c, g, nodes, inputNets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestListEnumeratesBothPolarities(t *testing.T) {
+	sg := wholeSegment(t, comb)
+	faults := List(sg)
+	if len(faults) != 2*len(sg.Signals()) {
+		t.Fatalf("faults = %d, want %d", len(faults), 2*len(sg.Signals()))
+	}
+	sa0, sa1 := 0, 0
+	for _, f := range faults {
+		if f.Stuck1 {
+			sa1++
+		} else {
+			sa0++
+		}
+	}
+	if sa0 != sa1 {
+		t.Fatalf("sa0=%d sa1=%d", sa0, sa1)
+	}
+}
+
+func TestExhaustiveCoverageCombinational(t *testing.T) {
+	// Pseudo-exhaustive patterns detect every non-redundant stuck-at fault
+	// in a combinational segment. This circuit has no redundancy, so
+	// coverage must be 100%.
+	sg := wholeSegment(t, comb)
+	cov, err := Simulate(sg, List(sg), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Detected != cov.Total {
+		t.Fatalf("coverage %d/%d, undetected: %v", cov.Detected, cov.Total, cov.Undetected)
+	}
+	if cov.Ratio() != 1 {
+		t.Fatalf("ratio = %v", cov.Ratio())
+	}
+}
+
+func TestSequentialCoverageHigh(t *testing.T) {
+	// s27 driven exhaustively through its 4 PIs with patterns pipelining
+	// through the state: the vast majority of faults must be caught.
+	sg := wholeSegment(t, s27)
+	cov, err := Simulate(sg, List(sg), Options{Seed: 1, MaxPatterns: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Ratio() < 0.85 {
+		t.Fatalf("coverage %.2f too low; undetected %v", cov.Ratio(), cov.Undetected)
+	}
+}
+
+func TestCoverageDeterministic(t *testing.T) {
+	sg := wholeSegment(t, s27)
+	a, err := Simulate(sg, List(sg), Options{Seed: 7, MaxPatterns: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(sg, List(sg), Options{Seed: 7, MaxPatterns: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Detected != b.Detected {
+		t.Fatalf("nondeterministic coverage: %d vs %d", a.Detected, b.Detected)
+	}
+}
+
+func TestMaxPatternsRespected(t *testing.T) {
+	sg := wholeSegment(t, comb)
+	cov, err := Simulate(sg, List(sg)[:4], Options{Seed: 1, MaxPatterns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Patterns != 3 {
+		t.Fatalf("patterns = %d, want 3", cov.Patterns)
+	}
+}
+
+func TestBatching(t *testing.T) {
+	sg := wholeSegment(t, s27)
+	faults := List(sg)
+	if len(faults) <= 63 {
+		t.Skip("fault list too small to exercise batching")
+	}
+	cov, err := Simulate(sg, faults, Options{Seed: 1, MaxPatterns: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := (len(faults) + 62) / 63
+	if cov.Batches != wantBatches {
+		t.Fatalf("batches = %d, want %d", cov.Batches, wantBatches)
+	}
+}
+
+func TestEmptyFaultList(t *testing.T) {
+	sg := wholeSegment(t, comb)
+	cov, err := Simulate(sg, nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Total != 0 || cov.Ratio() != 1 {
+		t.Fatalf("empty coverage = %+v", cov)
+	}
+}
+
+func TestUndetectedAreRedundant(t *testing.T) {
+	// A redundant fault: y = OR(a, NOT(a)) is constant 1; SA1 on y is
+	// undetectable.
+	sg := wholeSegment(t, `
+INPUT(a)
+OUTPUT(y)
+na = NOT(a)
+y = OR(a, na)
+`)
+	cov, err := Simulate(sg, []sim.Fault{{Signal: "y", Stuck1: true}}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Detected != 0 {
+		t.Fatal("redundant SA1 on constant-1 output reported detected")
+	}
+	cov2, err := Simulate(sg, []sim.Fault{{Signal: "y", Stuck1: false}}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov2.Detected != 1 {
+		t.Fatal("SA0 on constant-1 output must be detected")
+	}
+}

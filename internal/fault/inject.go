@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// InjectNetlist returns a copy of the circuit with a single stuck-at fault
+// hard-wired at the netlist level: every reader of the signal (gate fanins
+// and primary outputs) sees a constant instead. The constant is synthesised
+// as XOR(s, s) for stuck-at-0 and XNOR(s, s) for stuck-at-1, so no new
+// primary inputs appear. Useful for validating emitted test hardware: the
+// faulty netlist runs through the ordinary simulator, no lane machinery
+// needed.
+func InjectNetlist(c *netlist.Circuit, f sim.Fault) (*netlist.Circuit, error) {
+	if !c.IsInput(f.Signal) && c.Gate(f.Signal) == nil {
+		return nil, fmt.Errorf("fault: unknown signal %q", f.Signal)
+	}
+	out := netlist.New(c.Name + "_faulty")
+	for _, in := range c.Inputs {
+		if err := out.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	constName := f.Signal + "__sa"
+	for c.Gate(constName) != nil || c.IsInput(constName) {
+		constName += "_"
+	}
+	sub := func(sig string) string {
+		if sig == f.Signal {
+			return constName
+		}
+		return sig
+	}
+	for _, g := range c.Gates {
+		fanin := make([]string, len(g.Fanin))
+		for i, s := range g.Fanin {
+			fanin[i] = sub(s)
+		}
+		if _, err := out.AddGate(g.Name, g.Type, fanin...); err != nil {
+			return nil, err
+		}
+	}
+	typ := netlist.Xor // XOR(s, s) == 0
+	if f.Stuck1 {
+		typ = netlist.Xnor // XNOR(s, s) == 1
+	}
+	if _, err := out.AddGate(constName, typ, f.Signal, f.Signal); err != nil {
+		return nil, err
+	}
+	for _, po := range c.Outputs {
+		out.AddOutput(sub(po))
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: injected netlist invalid: %w", err)
+	}
+	return out, nil
+}

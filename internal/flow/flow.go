@@ -1,0 +1,264 @@
+// Package flow implements the paper's modified Saturate_Network procedure
+// (Table 3): probabilistic multicommodity-flow congestion estimation. Random
+// source nodes inject unit flows along Dijkstra shortest-path trees; each
+// net's distance grows exponentially with its accumulated flow, so congested
+// nets — in particular nets inside large strongly connected components —
+// acquire large d(e) values and become the preferred cut locations.
+package flow
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// VisitPolicy selects how the visit(v) sampling counter of Table 3 STEP 3 is
+// maintained; see DESIGN.md substitution 3.
+type VisitPolicy int
+
+const (
+	// VisitTree counts every node reached by a shortest-path tree as
+	// visited. This is the scalable reading (default).
+	VisitTree VisitPolicy = iota
+	// VisitSource counts only the randomly selected source node, the
+	// literal reading of Table 3 STEP 3.1.
+	VisitSource
+)
+
+// Config carries the Saturate_Network parameters. The zero value is not
+// valid; use DefaultConfig.
+type Config struct {
+	// Capacity is b, the per-net capacity (paper: 1).
+	Capacity float64
+	// MinVisit is the sampling threshold (paper: 20).
+	MinVisit int
+	// Alpha magnifies flow differences in the distance exponent (paper: 4).
+	Alpha float64
+	// Delta is the flow increment per tree net (paper: 0.01).
+	Delta float64
+	// Seed drives the random source selection.
+	Seed int64
+	// Policy selects the visit bookkeeping.
+	Policy VisitPolicy
+	// MaxIterations caps the number of Dijkstra trees as a safety valve;
+	// 0 means no cap beyond the visit criterion.
+	MaxIterations int
+}
+
+// DefaultConfig returns the paper's published parameter set (section 4.1):
+// b=1, min_visit=20, alpha=4, delta=0.01.
+func DefaultConfig(seed int64) Config {
+	return Config{Capacity: 1, MinVisit: 20, Alpha: 4, Delta: 0.01, Seed: seed, Policy: VisitTree}
+}
+
+// Result holds the saturated network state.
+type Result struct {
+	// D[e] is the distance/congestion index of net e (>= 1).
+	D []float64
+	// Flow[e] is the accumulated flow on net e.
+	Flow []float64
+	// Visits[v] is the visit counter per node.
+	Visits []int
+	// Trees is the number of Dijkstra trees grown.
+	Trees int
+}
+
+// Saturate runs the modified Saturate_Network of Table 3 on g.
+func Saturate(g *graph.G, cfg Config) (*Result, error) {
+	if cfg.Capacity <= 0 || cfg.Delta <= 0 || cfg.MinVisit < 0 {
+		return nil, errors.New("flow: invalid config")
+	}
+	n := g.NumNodes()
+	res := &Result{
+		D:      make([]float64, g.NumNets()),
+		Flow:   make([]float64, g.NumNets()),
+		Visits: make([]int, n),
+	}
+	for e := range res.D {
+		res.D[e] = 1 // STEP 1.1
+	}
+	if n == 0 {
+		return res, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// under holds nodes with visits <= MinVisit, as an index set we can
+	// sample from uniformly and compact lazily.
+	under := make([]int, n)
+	pos := make([]int, n)
+	for i := range under {
+		under[i] = i
+		pos[i] = i
+	}
+	remove := func(v int) {
+		p := pos[v]
+		if p < 0 {
+			return
+		}
+		last := under[len(under)-1]
+		under[p] = last
+		pos[last] = p
+		under = under[:len(under)-1]
+		pos[v] = -1
+	}
+	bump := func(v int) {
+		res.Visits[v]++
+		if res.Visits[v] > cfg.MinVisit {
+			remove(v)
+		}
+	}
+
+	dj := newDijkstra(g)
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = math.MaxInt
+	}
+	for len(under) > 0 && res.Trees < maxIter { // STEP 3
+		v := under[rng.Intn(len(under))] // STEP 3.1 (random under-visited node)
+		res.Trees++
+		tree, reached := dj.tree(v, res.D)
+		switch cfg.Policy {
+		case VisitSource:
+			bump(v)
+		default:
+			bump(v)
+			for _, w := range reached {
+				if w != v {
+					bump(w)
+				}
+			}
+		}
+		for _, e := range tree { // STEP 3.3
+			res.Flow[e] += cfg.Delta
+			x := cfg.Alpha * res.Flow[e] / cfg.Capacity
+			res.D[e] = math.Exp(x)
+		}
+		// A source with no outgoing reachability still counts as sampled,
+		// which the bump above already handled.
+	}
+	return res, nil
+}
+
+// dijkstra is reusable scratch state for shortest-path trees over nets.
+// All per-run bookkeeping uses epoch-stamped arrays so repeated trees incur
+// no per-node allocation.
+type dijkstra struct {
+	g        *graph.G
+	dist     []float64
+	via      []int // net used to reach node, -1 for source/unreached
+	stamp    []int // node touched in current epoch
+	done     []int // node settled in current epoch
+	netStamp []int // net already added to the tree in current epoch
+	cur      int
+	pq       nodeHeap
+	treeBuf  []int
+	reachBuf []int
+}
+
+func newDijkstra(g *graph.G) *dijkstra {
+	n := g.NumNodes()
+	return &dijkstra{
+		g:        g,
+		dist:     make([]float64, n),
+		via:      make([]int, n),
+		stamp:    make([]int, n),
+		done:     make([]int, n),
+		netStamp: make([]int, g.NumNets()),
+	}
+}
+
+// tree grows a shortest-path tree from src using net distances d and returns
+// the set of tree nets (each net once) plus the reached nodes. The returned
+// slices are reused across calls.
+func (dj *dijkstra) tree(src int, d []float64) (treeNets []int, reached []int) {
+	dj.cur++
+	g := dj.g
+	dj.dist[src] = 0
+	dj.via[src] = -1
+	dj.stamp[src] = dj.cur
+	dj.pq = dj.pq[:0]
+	dj.pq.push(nodeDist{src, 0})
+	treeNets = dj.treeBuf[:0]
+	reached = dj.reachBuf[:0]
+	for len(dj.pq) > 0 {
+		nd := dj.pq.pop()
+		v := nd.node
+		if dj.done[v] == dj.cur {
+			continue
+		}
+		dj.done[v] = dj.cur
+		reached = append(reached, v)
+		if e := dj.via[v]; e >= 0 && dj.netStamp[e] != dj.cur {
+			dj.netStamp[e] = dj.cur
+			treeNets = append(treeNets, e)
+		}
+		for _, e := range g.Out[v] {
+			ndist := dj.dist[v] + d[e]
+			for _, w := range g.Nets[e].Sinks {
+				if dj.done[w] == dj.cur {
+					continue
+				}
+				if dj.stamp[w] != dj.cur || ndist < dj.dist[w] {
+					dj.stamp[w] = dj.cur
+					dj.dist[w] = ndist
+					dj.via[w] = e
+					dj.pq.push(nodeDist{w, ndist})
+				}
+			}
+		}
+	}
+	dj.treeBuf = treeNets
+	dj.reachBuf = reached
+	return treeNets, reached
+}
+
+type nodeDist struct {
+	node int
+	d    float64
+}
+
+// nodeHeap is a plain binary min-heap specialised to nodeDist to avoid
+// container/heap's interface boxing on the hottest loop of the compiler.
+type nodeHeap []nodeDist
+
+func (h *nodeHeap) push(x nodeDist) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].d <= s[i].d {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() nodeDist {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s) && s[l].d < s[m].d {
+			m = l
+		}
+		if r < len(s) && s[r].d < s[m].d {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}

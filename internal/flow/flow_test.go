@@ -1,0 +1,221 @@
+package flow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func s27Graph(t *testing.T) *graph.G {
+	t.Helper()
+	c, err := netlist.ParseBenchString("s27", s27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSaturateBasics(t *testing.T) {
+	g := s27Graph(t)
+	res, err := Saturate(g, DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.D) != g.NumNets() || len(res.Flow) != g.NumNets() {
+		t.Fatal("result vectors wrong length")
+	}
+	for e, d := range res.D {
+		if d < 1 {
+			t.Fatalf("d[%d] = %v < 1", e, d)
+		}
+		want := math.Exp(4 * res.Flow[e] / 1)
+		if res.Flow[e] > 0 && math.Abs(d-want) > 1e-9 {
+			t.Fatalf("d[%d] = %v, want exp(alpha*flow) = %v", e, d, want)
+		}
+		if res.Flow[e] == 0 && d != 1 {
+			t.Fatalf("unflowed net %d has d = %v", e, d)
+		}
+	}
+	if res.Trees == 0 {
+		t.Fatal("no trees grown")
+	}
+	// Visit criterion: every node sampled beyond MinVisit.
+	for v, n := range res.Visits {
+		if n <= 20 {
+			t.Fatalf("node %d visited %d <= min_visit", v, n)
+		}
+	}
+}
+
+func TestSaturateDeterministic(t *testing.T) {
+	g := s27Graph(t)
+	a, err := Saturate(g, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Saturate(g, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range a.D {
+		if a.D[e] != b.D[e] {
+			t.Fatalf("nondeterministic: d[%d] %v vs %v", e, a.D[e], b.D[e])
+		}
+	}
+	c, err := Saturate(g, DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for e := range a.D {
+		if a.D[e] != c.D[e] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical flows (suspicious)")
+	}
+}
+
+func TestSaturateSCCNetsMoreCongested(t *testing.T) {
+	// Paper Figure 5: nets in big SCCs attract more flow than peripheral
+	// nets. Compare mean flow on intra-SCC nets vs others.
+	g := s27Graph(t)
+	info := g.SCC()
+	res, err := Saturate(g, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sccSum, otherSum float64
+	var sccN, otherN int
+	for e := range res.Flow {
+		if c := info.NetComp[e]; c >= 0 && info.Nontrivial(c) {
+			sccSum += res.Flow[e]
+			sccN++
+		} else {
+			otherSum += res.Flow[e]
+			otherN++
+		}
+	}
+	if sccN == 0 || otherN == 0 {
+		t.Skip("degenerate structure")
+	}
+	if sccSum/float64(sccN) <= otherSum/float64(otherN) {
+		t.Fatalf("SCC nets not more congested: scc=%.4f other=%.4f",
+			sccSum/float64(sccN), otherSum/float64(otherN))
+	}
+}
+
+func TestSaturateVisitSource(t *testing.T) {
+	g := s27Graph(t)
+	cfg := DefaultConfig(1)
+	cfg.Policy = VisitSource
+	cfg.MinVisit = 2 // keep the literal policy cheap
+	res, err := Saturate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the literal policy every node is picked MinVisit+1 times.
+	for v, n := range res.Visits {
+		if n != 3 {
+			t.Fatalf("node %d visited %d, want exactly 3", v, n)
+		}
+	}
+	if res.Trees != 3*g.NumNodes() {
+		t.Fatalf("trees = %d, want %d", res.Trees, 3*g.NumNodes())
+	}
+}
+
+func TestSaturateMaxIterations(t *testing.T) {
+	g := s27Graph(t)
+	cfg := DefaultConfig(1)
+	cfg.MaxIterations = 5
+	res, err := Saturate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trees != 5 {
+		t.Fatalf("trees = %d, want 5", res.Trees)
+	}
+}
+
+func TestSaturateInvalidConfig(t *testing.T) {
+	g := s27Graph(t)
+	bad := []Config{
+		{Capacity: 0, Delta: 0.01, MinVisit: 1},
+		{Capacity: 1, Delta: 0, MinVisit: 1},
+		{Capacity: 1, Delta: 0.1, MinVisit: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Saturate(g, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSaturateEmptyGraph(t *testing.T) {
+	c := netlist.New("empty")
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Saturate(g, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trees != 0 {
+		t.Fatal("trees grown on empty graph")
+	}
+}
+
+// Property: total flow equals Delta times the number of (tree, net) pairs,
+// i.e. flow is conserved in units of Delta.
+func TestSaturateFlowQuantised(t *testing.T) {
+	g := s27Graph(t)
+	f := func(seed int64) bool {
+		cfg := DefaultConfig(seed)
+		cfg.MaxIterations = 50
+		res, err := Saturate(g, cfg)
+		if err != nil {
+			return false
+		}
+		for _, fl := range res.Flow {
+			q := fl / cfg.Delta
+			if math.Abs(q-math.Round(q)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func buildS27(t *testing.T) *G {
+	t.Helper()
+	c, err := netlist.ParseBenchString("s27", s27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromCircuitS27(t *testing.T) {
+	g := buildS27(t)
+	// 4 PI + 13 cells + 1 PO = 18 nodes.
+	if g.NumNodes() != 18 {
+		t.Fatalf("nodes = %d, want 18", g.NumNodes())
+	}
+	// Every PI and every gate drives a net (all signals are read in s27).
+	if g.NumNets() != 17 {
+		t.Fatalf("nets = %d, want 17", g.NumNets())
+	}
+	cells := g.CellIDs()
+	if len(cells) != 13 {
+		t.Fatalf("cells = %d, want 13", len(cells))
+	}
+	id, ok := g.NodeByName("G11")
+	if !ok {
+		t.Fatal("G11 missing")
+	}
+	if g.Nodes[id].Kind != KindComb {
+		t.Fatalf("G11 kind = %v", g.Nodes[id].Kind)
+	}
+	if id, _ := g.NodeByName("G5"); g.Nodes[id].Kind != KindReg {
+		t.Fatal("G5 should be a register node")
+	}
+}
+
+func TestMultiPinFanout(t *testing.T) {
+	g := buildS27(t)
+	// G8 fans out to G15 and G16: one net, two sinks.
+	for _, n := range g.Nets {
+		if n.Name == "G8" {
+			if len(n.Sinks) != 2 {
+				t.Fatalf("G8 sinks = %d, want 2", len(n.Sinks))
+			}
+			return
+		}
+	}
+	t.Fatal("net G8 not found")
+}
+
+func TestIncidenceConsistency(t *testing.T) {
+	g := buildS27(t)
+	for v := range g.Nodes {
+		for _, e := range g.Out[v] {
+			if g.Nets[e].Source != v {
+				t.Fatalf("out net %d of node %d has source %d", e, v, g.Nets[e].Source)
+			}
+		}
+		for _, e := range g.In[v] {
+			found := false
+			for _, s := range g.Nets[e].Sinks {
+				if s == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("in net %d of node %d lacks sink", e, v)
+			}
+		}
+	}
+}
+
+func TestSCCOnS27(t *testing.T) {
+	g := buildS27(t)
+	info := g.SCC()
+	// s27 has one nontrivial SCC containing the G10/G11/G5/G6 feedback and
+	// everything strongly connected through it; G7/G12/G13 loop as well.
+	nontrivial := 0
+	regsOn := 0
+	for c := range info.Members {
+		if info.Nontrivial(c) {
+			nontrivial++
+			regsOn += info.RegCount[c]
+		}
+	}
+	if nontrivial == 0 {
+		t.Fatal("expected a nontrivial SCC in s27")
+	}
+	if got := g.RegsOnSCC(info); got != regsOn {
+		t.Fatalf("RegsOnSCC = %d, recomputed %d", got, regsOn)
+	}
+	if regsOn != 3 {
+		t.Fatalf("registers on SCCs = %d, want 3 (all of s27's DFFs loop)", regsOn)
+	}
+	// Comp must be a partition.
+	seen := make(map[int]bool)
+	for c, ms := range info.Members {
+		for _, v := range ms {
+			if seen[v] {
+				t.Fatalf("node %d in two components", v)
+			}
+			seen[v] = true
+			if info.Comp[v] != c {
+				t.Fatalf("comp[%d] = %d, want %d", v, info.Comp[v], c)
+			}
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Fatalf("components cover %d of %d nodes", len(seen), g.NumNodes())
+	}
+}
+
+// reachable computes reachability via BFS for the brute-force SCC oracle.
+func reachable(adj [][]int, from int) []bool {
+	n := len(adj)
+	seen := make([]bool, n)
+	queue := []int{from}
+	seen[from] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// TestSCCAgainstBruteForce cross-checks Tarjan against pairwise
+// reachability on random graphs.
+func TestSCCAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := &G{byName: map[string]int{}}
+		for i := 0; i < n; i++ {
+			g.Nodes = append(g.Nodes, Node{ID: i, Name: "n", Kind: KindComb})
+		}
+		adj := make([][]int, n)
+		nets := rng.Intn(2 * n)
+		for e := 0; e < nets; e++ {
+			src := rng.Intn(n)
+			k := 1 + rng.Intn(2)
+			var sinks []int
+			for j := 0; j < k; j++ {
+				w := rng.Intn(n)
+				sinks = append(sinks, w)
+				adj[src] = append(adj[src], w)
+			}
+			g.Nets = append(g.Nets, Net{ID: e, Source: src, Sinks: sinks})
+		}
+		g.buildIncidence()
+		info := g.SCC()
+		for a := 0; a < n; a++ {
+			ra := reachable(adj, a)
+			for b := 0; b < n; b++ {
+				rb := reachable(adj, b)
+				same := ra[b] && rb[a]
+				if same != (info.Comp[a] == info.Comp[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraNets(t *testing.T) {
+	g := buildS27(t)
+	info := g.SCC()
+	for c := range info.Members {
+		for _, e := range info.IntraNets[c] {
+			net := g.Nets[e]
+			if info.Comp[net.Source] != c {
+				t.Fatalf("intra net %d source outside component", e)
+			}
+			inComp := false
+			for _, s := range net.Sinks {
+				if info.Comp[s] == c {
+					inComp = true
+				}
+			}
+			if !inComp && len(info.Members[c]) > 1 {
+				t.Fatalf("intra net %d has no sink in component", e)
+			}
+			if info.NetComp[e] != c {
+				t.Fatalf("NetComp[%d] = %d, want %d", e, info.NetComp[e], c)
+			}
+		}
+	}
+}
+
+func TestSelfLoopSCC(t *testing.T) {
+	// A single node driving itself is a nontrivial component.
+	g := &G{byName: map[string]int{}}
+	g.Nodes = append(g.Nodes, Node{ID: 0, Name: "x", Kind: KindComb})
+	g.Nets = append(g.Nets, Net{ID: 0, Source: 0, Sinks: []int{0}})
+	g.buildIncidence()
+	info := g.SCC()
+	if info.NumComponents() != 1 || !info.Nontrivial(0) {
+		t.Fatalf("self-loop not detected: %+v", info)
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	g := buildS27(t)
+	id, _ := g.NodeByName("G8")
+	succ := g.Successors(id, nil)
+	if len(succ) != 2 {
+		t.Fatalf("successors of G8 = %d, want 2", len(succ))
+	}
+}
+
+func TestNetString(t *testing.T) {
+	g := buildS27(t)
+	if s := g.NetString(0); s == "" {
+		t.Fatal("empty net string")
+	}
+}
+
+func TestDeepChainIterative(t *testing.T) {
+	// A 50k-deep chain must not blow the stack (iterative Tarjan).
+	n := 50000
+	g := &G{byName: map[string]int{}}
+	for i := 0; i < n; i++ {
+		g.Nodes = append(g.Nodes, Node{ID: i, Kind: KindComb})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Nets = append(g.Nets, Net{ID: i, Source: i, Sinks: []int{i + 1}})
+	}
+	g.buildIncidence()
+	info := g.SCC()
+	if info.NumComponents() != n {
+		t.Fatalf("chain SCCs = %d, want %d", info.NumComponents(), n)
+	}
+}

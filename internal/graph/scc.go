@@ -1,0 +1,175 @@
+package graph
+
+// SCCInfo is the result of strongly-connected-component analysis
+// (paper Table 2 STEP 2). Components are numbered 0..NumComponents-1 in
+// reverse topological order (Tarjan's emission order).
+type SCCInfo struct {
+	// Comp[v] is the component index of node v.
+	Comp []int
+	// Members[c] lists node IDs of component c.
+	Members [][]int
+	// RegCount[c] counts register nodes in component c: the paper's f(SCC).
+	RegCount []int
+	// IntraNets[c] lists net IDs that are internal to component c, i.e.
+	// nets whose source and at least one sink are both in c. These are the
+	// nets subject to the Eq. (6) cut budget.
+	IntraNets [][]int
+	// NetComp[e] is the component of net e if e is an intra-SCC net of a
+	// nontrivial component, else -1.
+	NetComp []int
+}
+
+// NumComponents returns the number of SCCs.
+func (s *SCCInfo) NumComponents() int { return len(s.Members) }
+
+// Nontrivial reports whether component c is a real cycle: more than one
+// node, or a single node with a self-loop net.
+func (s *SCCInfo) Nontrivial(c int) bool {
+	return len(s.Members[c]) > 1 || len(s.IntraNets[c]) > 0
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm (recursion-free so 40k-node ISCAS89 circuits cost O(V+E) stack-
+// free). Pseudo PI/PO nodes participate but can never be on a cycle.
+func (g *G) SCC() *SCCInfo {
+	n := len(g.Nodes)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	next := 0
+	var members [][]int
+
+	// Explicit DFS frames: node plus position in its successor expansion.
+	type frame struct {
+		v     int
+		outI  int // index into g.Out[v]
+		sinkI int // index into current net's sinks
+	}
+	var frames []frame
+
+	push := func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		frames = append(frames, frame{v: v})
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.outI < len(g.Out[f.v]) {
+				net := &g.Nets[g.Out[f.v][f.outI]]
+				if f.sinkI >= len(net.Sinks) {
+					f.outI++
+					f.sinkI = 0
+					continue
+				}
+				w := net.Sinks[f.sinkI]
+				f.sinkI++
+				if index[w] == unvisited {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All successors done: pop frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				c := len(members)
+				var ms []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = c
+					ms = append(ms, w)
+					if w == v {
+						break
+					}
+				}
+				members = append(members, ms)
+			}
+		}
+	}
+
+	info := &SCCInfo{
+		Comp:      comp,
+		Members:   members,
+		RegCount:  make([]int, len(members)),
+		IntraNets: make([][]int, len(members)),
+		NetComp:   make([]int, len(g.Nets)),
+	}
+	for v, c := range comp {
+		if g.Nodes[v].Kind == KindReg {
+			info.RegCount[c]++
+		}
+	}
+	for e := range g.Nets {
+		info.NetComp[e] = -1
+		net := &g.Nets[e]
+		c := comp[net.Source]
+		if len(members[c]) == 1 {
+			// Single-node component: intra only if a true self loop.
+			self := false
+			for _, s := range net.Sinks {
+				if s == net.Source {
+					self = true
+					break
+				}
+			}
+			if !self {
+				continue
+			}
+			info.IntraNets[c] = append(info.IntraNets[c], e)
+			info.NetComp[e] = c
+			continue
+		}
+		for _, s := range net.Sinks {
+			if comp[s] == c {
+				info.IntraNets[c] = append(info.IntraNets[c], e)
+				info.NetComp[e] = c
+				break
+			}
+		}
+	}
+	return info
+}
+
+// RegsOnSCC counts register nodes that belong to nontrivial SCCs (the
+// "DFFs on SCC" column of the paper's Tables 10 and 11).
+func (g *G) RegsOnSCC(info *SCCInfo) int {
+	total := 0
+	for c := range info.Members {
+		if info.Nontrivial(c) {
+			total += info.RegCount[c]
+		}
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+package netlist
+
+// CMOS area model from the paper (section 4, citing Geiger/Allen/Strader):
+// 1 unit per inverter, 3 per 2-input AND, 2 per 2-input NAND, 3 per 2-input
+// OR, 2 per 2-input NOR, 10 per DFF; gates with higher fan-in scale up by
+// 1 unit per additional input. XOR is 4 units (section 2.3's A_CELL costing);
+// we assign XNOR 5 (XOR plus an inversion) and BUF 1.
+const (
+	AreaInverter = 1.0
+	AreaBuffer   = 1.0
+	AreaAnd2     = 3.0
+	AreaNand2    = 2.0
+	AreaOr2      = 3.0
+	AreaNor2     = 2.0
+	AreaXor2     = 4.0
+	AreaXnor2    = 5.0
+	AreaMux      = 3.0
+	AreaDFF      = 10.0
+	// AreaPerExtraInput is added for each fanin beyond two.
+	AreaPerExtraInput = 1.0
+)
+
+// GateArea returns the area of a single gate of type t with k inputs.
+func GateArea(t GateType, k int) float64 {
+	var base float64
+	switch t {
+	case Not:
+		return AreaInverter
+	case Buf:
+		return AreaBuffer
+	case DFF:
+		return AreaDFF
+	case Mux:
+		return AreaMux
+	case And:
+		base = AreaAnd2
+	case Nand:
+		base = AreaNand2
+	case Or:
+		base = AreaOr2
+	case Nor:
+		base = AreaNor2
+	case Xor:
+		base = AreaXor2
+	case Xnor:
+		base = AreaXnor2
+	default:
+		return 0
+	}
+	if k > 2 {
+		base += AreaPerExtraInput * float64(k-2)
+	}
+	return base
+}
+
+// Area returns the estimated total circuit area in the paper's units
+// (Table 9, last column).
+func (c *Circuit) Area() float64 {
+	total := 0.0
+	for _, g := range c.Gates {
+		total += GateArea(g.Type, len(g.Fanin))
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseBench reads a circuit in ISCAS89 .bench syntax:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = DFF(G14)
+//	G16 = AND(G14, G11)
+//
+// Gate type names are case-insensitive; BUF and BUFF are synonyms.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseBenchLine(c, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseBenchLine(c *Circuit, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+		arg, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		return c.AddInput(arg)
+	case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+		arg, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		c.AddOutput(arg)
+		return nil
+	}
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("unrecognised line %q", line)
+	}
+	name := normalizeName(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close_ := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close_ < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	tname := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	t, ok := namesToType[tname]
+	if !ok {
+		return fmt.Errorf("unknown gate type %q", tname)
+	}
+	var fanin []string
+	for _, f := range strings.Split(rhs[open+1:close_], ",") {
+		f = normalizeName(f)
+		if f == "" {
+			return fmt.Errorf("empty fanin in %q", rhs)
+		}
+		fanin = append(fanin, f)
+	}
+	_, err := c.AddGate(name, t, fanin...)
+	return err
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close_ := strings.LastIndexByte(line, ')')
+	if open < 0 || close_ < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := normalizeName(line[open+1 : close_])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// ParseBenchString is ParseBench over an in-memory string.
+func ParseBenchString(name, text string) (*Circuit, error) {
+	return ParseBench(name, strings.NewReader(text))
+}
+
+// WriteBench serialises the circuit in .bench syntax. The output parses back
+// to an equivalent circuit (same inputs, outputs and gates, in order).
+func (c *Circuit) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	s := c.Stats()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d DFFs, %d gates, %d inverters\n",
+		s.PIs, len(c.Outputs), s.DFFs, s.Gates, s.Inverters)
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", in)
+	}
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", out)
+	}
+	fmt.Fprintln(bw)
+	for _, g := range c.Gates {
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(g.Fanin, ", "))
+	}
+	return bw.Flush()
+}
+
+// BenchString returns the .bench serialisation as a string.
+func (c *Circuit) BenchString() string {
+	var sb strings.Builder
+	if err := c.WriteBench(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}

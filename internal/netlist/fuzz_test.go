@@ -1,0 +1,120 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseBenchNeverPanics throws mutated .bench text at the parser: it
+// must either parse or return an error, never panic.
+func TestParseBenchNeverPanics(t *testing.T) {
+	base := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(y)
+n = NAND(a, b)
+y = AND(n, q)
+`
+	mutations := []func(*rand.Rand, string) string{
+		func(r *rand.Rand, s string) string { // delete a random byte
+			if len(s) == 0 {
+				return s
+			}
+			i := r.Intn(len(s))
+			return s[:i] + s[i+1:]
+		},
+		func(r *rand.Rand, s string) string { // insert a random byte
+			i := r.Intn(len(s) + 1)
+			return s[:i] + string(rune(32+r.Intn(95))) + s[i:]
+		},
+		func(r *rand.Rand, s string) string { // duplicate a random line
+			lines := strings.Split(s, "\n")
+			i := r.Intn(len(lines))
+			lines = append(lines[:i], append([]string{lines[i]}, lines[i:]...)...)
+			return strings.Join(lines, "\n")
+		},
+		func(r *rand.Rand, s string) string { // shuffle two lines
+			lines := strings.Split(s, "\n")
+			if len(lines) < 2 {
+				return s
+			}
+			i, j := r.Intn(len(lines)), r.Intn(len(lines))
+			lines[i], lines[j] = lines[j], lines[i]
+			return strings.Join(lines, "\n")
+		},
+	}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		s := base
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			s = mutations[rng.Intn(len(mutations))](rng, s)
+		}
+		c, err := ParseBenchString("fuzz", s)
+		if err == nil && c != nil {
+			// Whatever parsed must also re-serialise and re-parse.
+			if _, err2 := ParseBenchString("fuzz2", c.BenchString()); err2 != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripProperty: any circuit built via the API serialises and
+// parses back with identical statistics.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New("rt")
+		var signals []string
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			name := "in" + string(rune('a'+i))
+			if err := c.AddInput(name); err != nil {
+				return false
+			}
+			signals = append(signals, name)
+		}
+		types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Not, Buf, DFF, Mux}
+		for i := 0; i < rng.Intn(30); i++ {
+			name := "g" + string(rune('A'+i%26)) + string(rune('a'+i/26))
+			tp := types[rng.Intn(len(types))]
+			pick := func() string { return signals[rng.Intn(len(signals))] }
+			var err error
+			switch tp {
+			case Not, Buf, DFF:
+				_, err = c.AddGate(name, tp, pick())
+			case Mux:
+				_, err = c.AddGate(name, tp, pick(), pick(), pick())
+			default:
+				_, err = c.AddGate(name, tp, pick(), pick())
+			}
+			if err != nil {
+				return false
+			}
+			signals = append(signals, name)
+		}
+		c.AddOutput(signals[len(signals)-1])
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		c2, err := ParseBenchString("rt", c.BenchString())
+		if err != nil {
+			return false
+		}
+		return c2.Stats() == c.Stats() && c2.Area() == c.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

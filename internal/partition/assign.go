@@ -1,0 +1,224 @@
+package partition
+
+import (
+	"errors"
+	"sort"
+)
+
+// MergeTrace records one greedy merge performed by AssignCBIT, for reports
+// and tests.
+type MergeTrace struct {
+	Into, From   int // pre-merge cluster IDs
+	InputsBefore int // iota(O) before the merge
+	InputsAfter  int // iota(O+g)
+	Gain         int // Eq. (7): lk - iota(O+g)
+}
+
+// AssignCBIT performs the final greedy merging pass of Table 8 on a
+// Make_Group result: small clusters are folded into larger ones while the
+// merged input count stays within lk, preferring merges that maximise the
+// Eq. (7) gain and, on ties, remove the most cut nets. Only clusters that
+// share nets with O — plus the globally smallest cluster — can improve the
+// gain, so the candidate scan is restricted to those. The result is
+// modified in place and re-finalised; the merge trace is returned.
+func AssignCBIT(r *Result, lk int) ([]MergeTrace, error) {
+	if lk < 1 {
+		return nil, errors.New("partition: lk must be >= 1")
+	}
+	g := r.G
+
+	type live struct {
+		nodes  map[int]bool
+		inputs map[int]struct{}
+		id     int
+		dead   bool
+	}
+	clusters := make([]*live, 0, len(r.Clusters))
+	srcCluster := make(map[int]int) // net -> live index of source cluster
+	readers := make(map[int]map[int]bool)
+	for li, c := range r.Clusters {
+		lc := &live{nodes: make(map[int]bool, len(c.Nodes)), inputs: make(map[int]struct{}, len(c.InputNets)), id: c.ID}
+		for _, v := range c.Nodes {
+			lc.nodes[v] = true
+			for _, e := range g.Out[v] {
+				srcCluster[e] = li
+			}
+		}
+		for e := range c.InputNets {
+			lc.inputs[e] = struct{}{}
+			if readers[e] == nil {
+				readers[e] = make(map[int]bool)
+			}
+			readers[e][li] = true
+		}
+		clusters = append(clusters, lc)
+	}
+
+	// mergedInputs computes iota(a+b) and the number of cut nets the merge
+	// removes, without mutating.
+	mergedInputs := func(a, b *live) (iota, removed int) {
+		inUnion := func(v int) bool { return a.nodes[v] || b.nodes[v] }
+		seen := make(map[int]bool, len(a.inputs)+len(b.inputs))
+		both := 0
+		for e := range a.inputs {
+			seen[e] = true
+		}
+		for e := range b.inputs {
+			if seen[e] {
+				both++
+			}
+			seen[e] = true
+		}
+		for e := range seen {
+			src := g.Nets[e].Source
+			if g.IsCell(src) && inUnion(src) {
+				removed++ // net becomes internal to the union
+				continue
+			}
+			iota++
+		}
+		removed += both // shared external nets now counted once
+		return iota, removed
+	}
+
+	// neighbors collects live cluster indexes sharing a net with o.
+	neighbors := func(oi int) map[int]bool {
+		o := clusters[oi]
+		out := make(map[int]bool)
+		for e := range o.inputs {
+			if si, ok := srcCluster[e]; ok && si != oi && !clusters[si].dead {
+				out[si] = true
+			}
+			for ri := range readers[e] {
+				if ri != oi && !clusters[ri].dead {
+					out[ri] = true
+				}
+			}
+		}
+		for v := range o.nodes {
+			for _, e := range g.Out[v] {
+				for ri := range readers[e] {
+					if ri != oi && !clusters[ri].dead {
+						out[ri] = true
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	remaining := len(clusters)
+	processed := make([]bool, len(clusters))
+	var trace []MergeTrace
+	var order []int
+
+	for remaining > 0 {
+		// STEP 3.1: O = Extract_Max(S) over unprocessed live clusters.
+		oi, best := -1, -1
+		minIdx, minIn := -1, 0
+		for i, c := range clusters {
+			if c.dead || processed[i] {
+				continue
+			}
+			if len(c.inputs) > best {
+				best = len(c.inputs)
+				oi = i
+			}
+		}
+		if oi < 0 {
+			break
+		}
+		processed[oi] = true
+		remaining--
+		o := clusters[oi]
+		order = append(order, oi)
+
+		// STEP 3.2: merge best feasible candidate while iota(O) < lk.
+		for len(o.inputs) < lk {
+			cands := neighbors(oi)
+			// Add the globally smallest unmerged cluster: with no sharing,
+			// iota(O+g) = iota(O) + iota(g), minimised by the smallest g.
+			minIdx, minIn = -1, 1<<30
+			for i, c := range clusters {
+				if c.dead || i == oi || processed[i] {
+					continue
+				}
+				if len(c.inputs) < minIn {
+					minIn = len(c.inputs)
+					minIdx = i
+				}
+			}
+			if minIdx >= 0 {
+				cands[minIdx] = true
+			}
+			bestIdx, bestIota, bestRemoved := -1, 0, -1
+			for gi := range cands {
+				gc := clusters[gi]
+				if processed[gi] {
+					continue // already emitted as a CBIT of its own
+				}
+				iota, removed := mergedInputs(o, gc)
+				if iota > lk { // Eq. (5) infeasible
+					continue
+				}
+				if bestIdx < 0 || iota < bestIota || (iota == bestIota && removed > bestRemoved) {
+					bestIdx, bestIota, bestRemoved = gi, iota, removed
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			gc := clusters[bestIdx]
+			trace = append(trace, MergeTrace{
+				Into: o.id, From: gc.id,
+				InputsBefore: len(o.inputs), InputsAfter: bestIota,
+				Gain: lk - bestIota,
+			})
+			// Merge gc into o, updating indexes.
+			for v := range gc.nodes {
+				o.nodes[v] = true
+				for _, e := range g.Out[v] {
+					srcCluster[e] = oi
+				}
+			}
+			for e := range gc.inputs {
+				o.inputs[e] = struct{}{}
+				delete(readers[e], bestIdx)
+				readers[e][oi] = true
+			}
+			for e := range o.inputs {
+				src := g.Nets[e].Source
+				if g.IsCell(src) && o.nodes[src] {
+					delete(o.inputs, e)
+					delete(readers[e], oi)
+				}
+			}
+			gc.dead = true
+			remaining--
+		}
+	}
+
+	// Rebuild the Result in place, in emission order.
+	outClusters := make([]*Cluster, 0, len(order))
+	assign := make([]int, g.NumNodes())
+	for i := range assign {
+		assign[i] = -1
+	}
+	for _, oi := range order {
+		lc := clusters[oi]
+		if lc.dead {
+			continue
+		}
+		ci := len(outClusters)
+		c := &Cluster{ID: ci}
+		for v := range lc.nodes {
+			c.Nodes = append(c.Nodes, v)
+			assign[v] = ci
+		}
+		sort.Ints(c.Nodes)
+		outClusters = append(outClusters, c)
+	}
+	nr := finalize(g, r.SCC, outClusters, assign, r.BoundarySteps)
+	*r = *nr
+	return trace, nil
+}

@@ -1,0 +1,168 @@
+package partition
+
+import "sort"
+
+// Refine runs a greedy boundary-refinement pass over a finished partition
+// (a light Kernighan-Lin flavour): boundary cells are tentatively moved
+// into a neighbouring cluster, and the move is kept when it removes more
+// cut nets than it creates while both clusters stay within the l_k input
+// constraint. The paper's Assign_CBIT stops at greedy merging; this is the
+// natural "further optimisation" pass its framework invites. Returns the
+// number of accepted moves; the Result is re-finalised in place.
+func Refine(r *Result, lk int, maxPasses int) int {
+	if maxPasses <= 0 {
+		maxPasses = 2
+	}
+	g := r.G
+	assign := r.Assign
+
+	// clusterNodes mirrors assignments as mutable sets.
+	clusters := make([]map[int]bool, len(r.Clusters))
+	for ci, c := range r.Clusters {
+		clusters[ci] = make(map[int]bool, len(c.Nodes))
+		for _, v := range c.Nodes {
+			clusters[ci][v] = true
+		}
+	}
+
+	iota := func(ci int) int {
+		in := make(map[int]struct{})
+		for v := range clusters[ci] {
+			for _, e := range g.In[v] {
+				src := g.Nets[e].Source
+				if !g.IsCell(src) || assign[src] != ci {
+					in[e] = struct{}{}
+				}
+			}
+		}
+		return len(in)
+	}
+
+	// cutDelta counts, over the nets incident to v, how many are cut under
+	// the current assignment.
+	localCuts := func(v int) int {
+		n := 0
+		seen := map[int]bool{}
+		count := func(e int) {
+			if seen[e] {
+				return
+			}
+			seen[e] = true
+			net := &g.Nets[e]
+			if !g.IsCell(net.Source) {
+				return
+			}
+			src := assign[net.Source]
+			for _, s := range net.Sinks {
+				if g.IsCell(s) && assign[s] != src {
+					n++
+					return
+				}
+			}
+		}
+		for _, e := range g.In[v] {
+			count(e)
+		}
+		for _, e := range g.Out[v] {
+			count(e)
+		}
+		return n
+	}
+
+	// neighbours of v: clusters adjacent through any incident net.
+	neighbours := func(v int) []int {
+		set := map[int]bool{}
+		add := func(w int) {
+			if g.IsCell(w) && assign[w] != assign[v] {
+				set[assign[w]] = true
+			}
+		}
+		for _, e := range g.In[v] {
+			add(g.Nets[e].Source)
+			for _, s := range g.Nets[e].Sinks {
+				add(s)
+			}
+		}
+		for _, e := range g.Out[v] {
+			for _, s := range g.Nets[e].Sinks {
+				add(s)
+			}
+		}
+		out := make([]int, 0, len(set))
+		for c := range set {
+			out = append(out, c)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	moves := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for _, v := range g.CellIDs() {
+			from := assign[v]
+			if from < 0 || len(clusters[from]) <= 1 {
+				continue
+			}
+			best, bestGain := -1, 0
+			before := localCuts(v)
+			for _, to := range neighbours(v) {
+				// Tentative move.
+				assign[v] = to
+				delete(clusters[from], v)
+				clusters[to][v] = true
+				gain := before - localCuts(v)
+				ok := gain > 0 && iota(to) <= lk && iota(from) <= lk
+				// Undo.
+				assign[v] = from
+				clusters[from][v] = true
+				delete(clusters[to], v)
+				if ok && gain > bestGain {
+					best, bestGain = to, gain
+				}
+			}
+			if best >= 0 {
+				assign[v] = best
+				delete(clusters[from], v)
+				clusters[best][v] = true
+				moves++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if moves == 0 {
+		return 0
+	}
+
+	// Rebuild the Result (drop emptied clusters).
+	var newClusters []*Cluster
+	remap := make([]int, len(clusters))
+	for ci := range clusters {
+		if len(clusters[ci]) == 0 {
+			remap[ci] = -1
+			continue
+		}
+		remap[ci] = len(newClusters)
+		c := &Cluster{ID: remap[ci]}
+		for v := range clusters[ci] {
+			c.Nodes = append(c.Nodes, v)
+		}
+		sort.Ints(c.Nodes)
+		newClusters = append(newClusters, c)
+	}
+	newAssign := make([]int, g.NumNodes())
+	for i := range newAssign {
+		newAssign[i] = -1
+	}
+	for _, c := range newClusters {
+		for _, v := range c.Nodes {
+			newAssign[v] = c.ID
+		}
+	}
+	nr := finalize(g, r.SCC, newClusters, newAssign, r.BoundarySteps)
+	*r = *nr
+	return moves
+}

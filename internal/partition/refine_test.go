@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+func refineSetup(t *testing.T, seed int64, lk int) *Result {
+	t.Helper()
+	g, scc, d := s27Setup(t, seed)
+	r, err := MakeGroup(g, scc, d, Options{LK: lk, Beta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AssignCBIT(r, lk); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := refineSetup(t, seed, 3)
+		before := r.NumCutNets()
+		moves := Refine(r, 3, 3)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.NumCutNets() > before {
+			t.Fatalf("seed %d: refinement increased cuts %d -> %d (%d moves)",
+				seed, before, r.NumCutNets(), moves)
+		}
+		if r.MaxInputs() > 3 {
+			t.Fatalf("seed %d: refinement violated lk: %d", seed, r.MaxInputs())
+		}
+	}
+}
+
+func TestRefineIdempotentWhenConverged(t *testing.T) {
+	r := refineSetup(t, 1, 3)
+	Refine(r, 3, 8)
+	cuts := r.NumCutNets()
+	if moves := Refine(r, 3, 8); moves != 0 {
+		t.Fatalf("second refinement still moved %d cells", moves)
+	}
+	if r.NumCutNets() != cuts {
+		t.Fatal("idle refinement changed cuts")
+	}
+}
+
+func TestRefineZeroPassesDefault(t *testing.T) {
+	r := refineSetup(t, 1, 3)
+	// maxPasses <= 0 falls back to 2 passes; must still be valid.
+	Refine(r, 3, 0)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: refinement on random circuits keeps the partition valid, the
+// constraint satisfied, and the cut count monotone non-increasing.
+func TestRefinePropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		g, err := graph.FromCircuit(c)
+		if err != nil {
+			return false
+		}
+		scc := g.SCC()
+		fres, err := flow.Saturate(g, flow.DefaultConfig(seed))
+		if err != nil {
+			return false
+		}
+		lk := MaxFanin(g) + 2
+		d := append([]float64(nil), fres.D...)
+		r, err := MakeGroup(g, scc, d, Options{LK: lk, Beta: 50})
+		if err != nil {
+			return false
+		}
+		if _, err := AssignCBIT(r, lk); err != nil {
+			return false
+		}
+		before := r.NumCutNets()
+		Refine(r, lk, 3)
+		if err := r.Validate(); err != nil {
+			return false
+		}
+		return r.NumCutNets() <= before && r.MaxInputs() <= lk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package pet implements conventional (non-pipelined) pseudo-exhaustive
+// testing in the style of Wu's tool (the paper's reference [7], discussed
+// in section 5): every output cone — a primary output or flip-flop data
+// input, under the full-scan convention that registers are pseudo
+// inputs/outputs — is tested exhaustively over its input support. The
+// module computes cone supports, PET feasibility (a cone wider than the
+// largest practical pattern generator cannot be tested exhaustively at
+// all), and the session lengths to compare against PPET: this is exactly
+// the comparison that motivates partitioning in the paper.
+package pet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cbit"
+	"repro/internal/graph"
+)
+
+// Cone describes one output cone.
+type Cone struct {
+	// Root is the node whose value the cone computes: a primary output's
+	// driver or a register (its data input cone).
+	Root int
+	// RootName is the driving signal name.
+	RootName string
+	// Support lists the cone's inputs: primary inputs and register outputs
+	// feeding it, as node IDs.
+	Support []int
+	// Feasible reports whether |Support| fits the widest practical pattern
+	// generator (cbit.MaxWidth).
+	Feasible bool
+	// Patterns is 2^|Support| when feasible.
+	Patterns float64
+}
+
+// Width returns the support size.
+func (c Cone) Width() int { return len(c.Support) }
+
+// Analysis is the PET view of a circuit.
+type Analysis struct {
+	Cones []Cone
+	// MaxWidth is the widest cone support.
+	MaxWidth int
+	// Infeasible counts cones too wide for exhaustive testing.
+	Infeasible int
+	// SerialTime sums per-cone pattern counts (one cone at a time, the
+	// conventional single-BIST-controller discipline); infeasible cones
+	// are excluded and reported separately.
+	SerialTime float64
+	// MergedTime is the session length after greedily merging cones whose
+	// union support stays within kappa (Wu-style pattern sharing): the sum
+	// of 2^|union| over the merged groups.
+	MergedTime float64
+	// Groups is the number of merged sessions.
+	Groups int
+}
+
+// Analyze computes cone supports and PET session lengths for the circuit
+// graph. kappa is the input limit used for the merged schedule (typically
+// the same l_k handed to the PPET partitioner).
+func Analyze(g *graph.G, kappa int) (*Analysis, error) {
+	if kappa < 1 {
+		return nil, fmt.Errorf("pet: kappa must be positive")
+	}
+	a := &Analysis{}
+
+	// Cone roots: drivers of primary outputs, and data-input cones of
+	// registers (the register node's in-nets' sources are the cone roots;
+	// we treat the register itself as the root marker).
+	roots := map[int]bool{}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.KindPO:
+			for _, e := range g.In[n.ID] {
+				src := g.Nets[e].Source
+				if g.IsCell(src) {
+					roots[src] = true
+				}
+			}
+		case graph.KindReg:
+			for _, e := range g.In[n.ID] {
+				src := g.Nets[e].Source
+				if g.IsCell(src) && g.Nodes[src].Kind == graph.KindComb {
+					roots[src] = true
+				}
+			}
+		}
+	}
+
+	rootList := make([]int, 0, len(roots))
+	for r := range roots {
+		rootList = append(rootList, r)
+	}
+	sort.Ints(rootList)
+
+	for _, root := range rootList {
+		support := coneSupport(g, root)
+		c := Cone{Root: root, RootName: g.Nodes[root].Name, Support: support}
+		c.Feasible = len(support) <= cbit.MaxWidth
+		if c.Feasible {
+			c.Patterns = cbit.TestingTime(len(support))
+			a.SerialTime += c.Patterns
+		} else {
+			a.Infeasible++
+		}
+		if len(support) > a.MaxWidth {
+			a.MaxWidth = len(support)
+		}
+		a.Cones = append(a.Cones, c)
+	}
+
+	a.Groups, a.MergedTime = mergeCones(a.Cones, kappa)
+	return a, nil
+}
+
+// coneSupport walks backwards from root to primary inputs and register
+// outputs (full-scan pseudo inputs).
+func coneSupport(g *graph.G, root int) []int {
+	seen := map[int]bool{root: true}
+	support := map[int]bool{}
+	stack := []int{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.In[v] {
+			src := g.Nets[e].Source
+			if seen[src] {
+				continue
+			}
+			seen[src] = true
+			switch g.Nodes[src].Kind {
+			case graph.KindPI, graph.KindReg:
+				support[src] = true
+			case graph.KindComb:
+				stack = append(stack, src)
+			}
+		}
+	}
+	out := make([]int, 0, len(support))
+	for v := range support {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mergeCones greedily packs cones into sessions whose union support stays
+// within kappa; each session applies 2^|union| patterns. Infeasible cones
+// (support beyond the widest generator) get their own, truncated session
+// and are not counted here.
+func mergeCones(cones []Cone, kappa int) (groups int, time float64) {
+	type group struct{ support map[int]bool }
+	var open []*group
+	for _, c := range cones {
+		if !c.Feasible {
+			continue
+		}
+		if c.Width() > kappa {
+			// Too wide to share a session: it runs alone.
+			groups++
+			time += c.Patterns
+			continue
+		}
+		placed := false
+		for _, gr := range open {
+			union := len(gr.support)
+			for _, s := range c.Support {
+				if !gr.support[s] {
+					union++
+				}
+			}
+			if union <= kappa {
+				for _, s := range c.Support {
+					gr.support[s] = true
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			gr := &group{support: map[int]bool{}}
+			for _, s := range c.Support {
+				gr.support[s] = true
+			}
+			open = append(open, gr)
+		}
+	}
+	for _, gr := range open {
+		time += cbit.TestingTime(len(gr.support))
+	}
+	return groups + len(open), time
+}

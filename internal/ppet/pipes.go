@@ -1,0 +1,102 @@
+package ppet
+
+import (
+	"sort"
+
+	"repro/internal/cbit"
+	"repro/internal/partition"
+)
+
+// Pipe is one test pipe of the paper's Figure 1: a maximal set of segments
+// connected through shared CBITs, whose patterns and responses pipeline
+// through one another. Every pipe runs concurrently with the others; a
+// pipe finishes after 2^MaxWidth clocks (Figure 1(b)).
+type Pipe struct {
+	// Clusters lists the partition cluster IDs in the pipe.
+	Clusters []int
+	// MaxWidth is the widest TPG CBIT in the pipe.
+	MaxWidth int
+	// Time is 2^MaxWidth clock cycles.
+	Time float64
+}
+
+// Pipes derives the test-pipe structure from a partition: cluster A feeds
+// cluster B when a net sourced in A is one of B's input nets (B's CBIT
+// performs PSA for A while generating patterns for B — the dual-mode trick
+// that makes PPET pipelined). Pipes are the weakly connected components of
+// that flow graph.
+func Pipes(r *partition.Result) []Pipe {
+	n := len(r.Clusters)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for bi, b := range r.Clusters {
+		for e := range b.InputNets {
+			src := r.G.Nets[e].Source
+			if !r.G.IsCell(src) {
+				continue // primary input: pipe boundary
+			}
+			union(bi, r.Assign[src])
+		}
+	}
+
+	groups := map[int][]int{}
+	for ci := range r.Clusters {
+		root := find(ci)
+		groups[root] = append(groups[root], ci)
+	}
+	var roots []int
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+
+	var pipes []Pipe
+	for _, root := range roots {
+		members := groups[root]
+		sort.Ints(members)
+		p := Pipe{Clusters: members}
+		for _, ci := range members {
+			w, ok := cbit.TypeFor(r.Clusters[ci].Inputs())
+			if !ok {
+				w = cbit.MaxWidth
+			}
+			if w > p.MaxWidth {
+				p.MaxWidth = w
+			}
+		}
+		p.Time = cbit.TestingTime(p.MaxWidth)
+		pipes = append(pipes, p)
+	}
+	return pipes
+}
+
+// PipesTime returns the overall session length implied by the pipe
+// structure: the slowest pipe dominates (all pipes run concurrently).
+// It always equals Plan.TotalTime; having both computations lets tests
+// cross-check the Figure 1(b) model.
+func PipesTime(pipes []Pipe) float64 {
+	m := 0.0
+	for _, p := range pipes {
+		if p.Time > m {
+			m = p.Time
+		}
+	}
+	return m
+}

@@ -1,0 +1,91 @@
+package ppet
+
+import (
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+)
+
+func TestPipesCoverAllClusters(t *testing.T) {
+	_, r := compiled(t, 3)
+	pipes := Pipes(r.Partition)
+	if len(pipes) == 0 {
+		t.Fatal("no pipes")
+	}
+	seen := map[int]bool{}
+	for _, p := range pipes {
+		if p.MaxWidth <= 0 || p.Time <= 0 {
+			t.Fatalf("degenerate pipe %+v", p)
+		}
+		for _, ci := range p.Clusters {
+			if seen[ci] {
+				t.Fatalf("cluster %d in two pipes", ci)
+			}
+			seen[ci] = true
+		}
+	}
+	if len(seen) != len(r.Partition.Clusters) {
+		t.Fatalf("pipes cover %d of %d clusters", len(seen), len(r.Partition.Clusters))
+	}
+}
+
+func TestPipesTimeMatchesPlan(t *testing.T) {
+	c, r := compiled(t, 3)
+	_ = c
+	plan, err := BuildPlan(r.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipes := Pipes(r.Partition)
+	if got := PipesTime(pipes); got != plan.TotalTime {
+		t.Fatalf("pipes time %v, plan total %v", got, plan.TotalTime)
+	}
+}
+
+func TestPipesOnLargerCircuit(t *testing.T) {
+	r := compileBench(t, "s510", 8)
+	pipes := Pipes(r.Partition)
+	// s510's clusters interconnect: expect at least one pipe with more
+	// than one cluster (the pipelining the scheme is named after).
+	multi := false
+	for _, p := range pipes {
+		if len(p.Clusters) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatalf("no multi-cluster pipe found in %d pipes", len(pipes))
+	}
+}
+
+func TestPETBaseline(t *testing.T) {
+	_, r := compiled(t, 3)
+	plan, err := BuildPlan(r.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pet := PETTime(plan)
+	if pet < plan.TotalTime {
+		t.Fatalf("serial PET (%v) cannot be faster than PPET (%v)", pet, plan.TotalTime)
+	}
+	if len(plan.Segments) > 1 && plan.SpeedUp() <= 1 {
+		t.Fatalf("speed-up %v with %d segments", plan.SpeedUp(), len(plan.Segments))
+	}
+	if (&Plan{}).SpeedUp() != 1 {
+		t.Fatal("empty plan speed-up")
+	}
+}
+
+func compileBench(t *testing.T, name string, lk int) *core.Result {
+	t.Helper()
+	c, err := bench89.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Compile(c, core.DefaultOptions(lk, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

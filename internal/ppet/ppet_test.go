@@ -1,0 +1,165 @@
+package ppet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func compiled(t *testing.T, lk int) (*netlist.Circuit, *core.Result) {
+	t.Helper()
+	c, err := netlist.ParseBenchString("s27", s27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Compile(c, core.DefaultOptions(lk, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, r
+}
+
+func TestBuildPlan(t *testing.T) {
+	_, r := compiled(t, 3)
+	plan, err := BuildPlan(r.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments) != len(r.Partition.Clusters) {
+		t.Fatalf("segments = %d, clusters = %d", len(plan.Segments), len(r.Partition.Clusters))
+	}
+	for _, s := range plan.Segments {
+		if s.TPGWidth < s.Inputs {
+			t.Fatalf("segment %d: TPG width %d < inputs %d", s.Cluster, s.TPGWidth, s.Inputs)
+		}
+		if s.TestingTime <= 0 {
+			t.Fatalf("segment %d: testing time %v", s.Cluster, s.TestingTime)
+		}
+	}
+	// Total testing time is dominated by the widest CBIT (Figure 1(b)).
+	maxT := 0.0
+	for _, s := range plan.Segments {
+		if s.TestingTime > maxT {
+			maxT = s.TestingTime
+		}
+	}
+	if plan.TotalTime != maxT {
+		t.Fatalf("total time %v, want %v", plan.TotalTime, maxT)
+	}
+}
+
+func TestSelfTestDeterministic(t *testing.T) {
+	c, r := compiled(t, 3)
+	a, err := SelfTest(c, r.Partition, SelfTestOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelfTest(c, r.Partition, SelfTestOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("signature counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Value != b[i].Value || a[i].Cycles != b[i].Cycles {
+			t.Fatalf("nondeterministic signature %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSelfTestSeedChangesSignatures(t *testing.T) {
+	c, r := compiled(t, 3)
+	a, _ := SelfTest(c, r.Partition, SelfTestOptions{Seed: 5})
+	b, _ := SelfTest(c, r.Partition, SelfTestOptions{Seed: 6})
+	same := true
+	for i := range a {
+		if a[i].Value != b[i].Value {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical signatures for every segment")
+	}
+}
+
+func TestSelfTestDetectsFault(t *testing.T) {
+	c, r := compiled(t, 3)
+	golden, err := SelfTest(c, r.Partition, SelfTestOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a stuck-at on a signal that certainly exists: G8.
+	faulty, err := SelfTest(c, r.Partition, SelfTestOptions{Seed: 5, Fault: &sim.Fault{Signal: "G8", Stuck1: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range golden {
+		if golden[i].Value != faulty[i].Value {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("stuck-at fault left every segment signature unchanged")
+	}
+}
+
+func TestSelfTestUnknownFaultSignalHarmless(t *testing.T) {
+	c, r := compiled(t, 3)
+	golden, _ := SelfTest(c, r.Partition, SelfTestOptions{Seed: 5})
+	same, err := SelfTest(c, r.Partition, SelfTestOptions{Seed: 5, Fault: &sim.Fault{Signal: "not-a-signal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range golden {
+		if golden[i].Value != same[i].Value {
+			t.Fatal("unknown fault signal changed signatures")
+		}
+	}
+}
+
+func TestPipeTime(t *testing.T) {
+	if PipeTime([]int{4, 8, 16}) != 65536 {
+		t.Fatal("pipe time must be dominated by the widest CBIT")
+	}
+	if PipeTime(nil) != 1 {
+		t.Fatalf("empty pipe time = %v", PipeTime(nil))
+	}
+}
+
+func TestSelfTestMaxCycles(t *testing.T) {
+	c, r := compiled(t, 3)
+	sigs, err := SelfTest(c, r.Partition, SelfTestOptions{Seed: 1, MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sigs {
+		if s.Cycles != 10 {
+			t.Fatalf("cycles = %d, want 10", s.Cycles)
+		}
+	}
+}

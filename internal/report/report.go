@@ -1,0 +1,157 @@
+// Package report renders fixed-width text tables and CSV for the
+// experiment harness (the paper's Tables 1 and 9-12 and figure series).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows for aligned text output.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %g-like
+// trimming via Cell helpers if needed.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf formats each value: strings pass through, ints via %d, floats via
+// %.1f, everything else via %v.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case int:
+			cells[i] = fmt.Sprintf("%d", x)
+		case int64:
+			cells[i] = fmt.Sprintf("%d", x)
+		case uint64:
+			cells[i] = fmt.Sprintf("%d", x)
+		case float64:
+			cells[i] = fmt.Sprintf("%.2f", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Write(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// WriteCSV renders the table as CSV (no quoting beyond commas-to-semicolon
+// replacement; cell values here never contain commas).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	join := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strings.ReplaceAll(c, ",", ";"))
+		}
+		sb.WriteByte('\n')
+	}
+	join(t.headers)
+	for _, r := range t.rows {
+		join(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named (x, y) sequence for figure reproduction.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// WriteSeries renders one or more series in a columnar "x y1 y2 ..." form
+// usable for plotting, assuming aligned X vectors.
+func WriteSeries(w io.Writer, xLabel string, series ...Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	sb.WriteString("# " + xLabel)
+	for _, s := range series {
+		sb.WriteString(" " + s.Name)
+	}
+	sb.WriteByte('\n')
+	for i := range series[0].X {
+		fmt.Fprintf(&sb, "%g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, " %g", s.Y[i])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "A", "BB", "CCC")
+	tb.AddRowf("x", 12, 3.14159)
+	tb.AddRow("longer-cell", "y", "z")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[2], "---") {
+		t.Fatalf("header/separator malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	// Columns align: header and data rows share the first column width.
+	if len(lines[1]) == 0 || len(lines[3]) == 0 {
+		t.Fatal("empty rows")
+	}
+}
+
+func TestTableAddRowfTypes(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRowf(int64(7))
+	tb.AddRowf(uint64(8))
+	tb.AddRowf(struct{ X int }{9})
+	out := tb.String()
+	for _, want := range []string{"7", "8", "{9}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("1,5", "x")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if got != "a,b\n1;5,x\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSeries(&sb, "x",
+		Series{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "s2", X: []float64{1, 2}, Y: []float64{0.5, 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# x s1 s2\n1 10 0.5\n2 20 0.25\n"
+	if got != want {
+		t.Fatalf("series = %q, want %q", got, want)
+	}
+	if err := WriteSeries(&sb, "x"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package retime
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// Apply materialises a retiming as a new netlist: every combinational gate
+// keeps its function, and the registers between gates are rebuilt so that
+// the connection from driver u to consumer v carries exactly
+// w(u,v) + rho(v) - rho(u) flip-flops. Register chains are shared at
+// fanout: a driver with consumers needing k1 <= k2 <= ... registers gets a
+// single chain of max(k) flip-flops, and each consumer taps the chain at
+// its own depth — so a register moved onto a multi-fanout net is one
+// physical DFF, matching the paper's one-A_CELL-per-cut-net costing.
+//
+// New flip-flops are named "<signal>__r<k>". Primary outputs whose paths
+// gained registers are re-pointed at the corresponding tap.
+func Apply(c *netlist.Circuit, g *graph.G, cg *CombGraph, rho []int) (*netlist.Circuit, error) {
+	if err := cg.CheckLegal(rho); err != nil {
+		return nil, err
+	}
+	out := netlist.New(c.Name + "_retimed")
+	for _, in := range c.Inputs {
+		if err := out.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+
+	// rhoOf maps an original driver signal to the rho of its comb vertex
+	// (PIs use the host source).
+	rhoOf := func(sig string) (int, error) {
+		if c.IsInput(sig) {
+			return rho[cg.SourceV], nil
+		}
+		id, ok := g.NodeByName(sig)
+		if !ok {
+			return 0, fmt.Errorf("retime: unknown signal %q", sig)
+		}
+		vid, ok := cg.VertexOf[id]
+		if !ok {
+			return 0, fmt.Errorf("retime: signal %q is not a combinational vertex", sig)
+		}
+		return rho[vid], nil
+	}
+
+	// traceDriver walks an original fanin signal back through DFFs to its
+	// combinational driver (or PI), counting the registers passed.
+	traceDriver := func(sig string) (driver string, regs int, err error) {
+		cur := sig
+		for {
+			if c.IsInput(cur) {
+				return cur, regs, nil
+			}
+			gate := c.Gate(cur)
+			if gate == nil {
+				return "", 0, fmt.Errorf("retime: undriven signal %q", cur)
+			}
+			if gate.Type != netlist.DFF {
+				return cur, regs, nil
+			}
+			regs++
+			cur = gate.Fanin[0]
+			if regs > c.NumDFFs()+1 {
+				return "", 0, fmt.Errorf("retime: register-only cycle at %q", sig)
+			}
+		}
+	}
+
+	// Pass 1: compute the register need per (driver, consumerVertex) and
+	// the maximum chain length per driver.
+	type conn struct {
+		pin    int
+		driver string
+		need   int
+	}
+	connsOf := map[string][]conn{}
+	chainLen := map[string]int{}
+	addNeed := func(gateName string, pin int, faninSig string, consumerRho int) error {
+		driver, w, err := traceDriver(faninSig)
+		if err != nil {
+			return err
+		}
+		dr, err := rhoOf(driver)
+		if err != nil {
+			return err
+		}
+		need := w + consumerRho - dr
+		if need < 0 {
+			return fmt.Errorf("retime: connection %s->%s needs %d registers", driver, gateName, need)
+		}
+		connsOf[gateName] = append(connsOf[gateName], conn{pin: pin, driver: driver, need: need})
+		if need > chainLen[driver] {
+			chainLen[driver] = need
+		}
+		return nil
+	}
+
+	for _, gate := range c.Gates {
+		if gate.Type == netlist.DFF {
+			continue // registers are rebuilt from scratch
+		}
+		id, ok := g.NodeByName(gate.Name)
+		if !ok {
+			return nil, fmt.Errorf("retime: gate %q missing from graph", gate.Name)
+		}
+		vid := cg.VertexOf[id]
+		for pin, f := range gate.Fanin {
+			if err := addNeed(gate.Name, pin, f, rho[vid]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Primary outputs behave like pins of the host sink.
+	type poConn struct {
+		index  int
+		driver string
+		need   int
+	}
+	var poConns []poConn
+	for i, po := range c.Outputs {
+		driver, w, err := traceDriver(po)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := rhoOf(driver)
+		if err != nil {
+			return nil, err
+		}
+		need := w + rho[cg.SinkV] - dr
+		if need < 0 {
+			return nil, fmt.Errorf("retime: output %s needs %d registers", po, need)
+		}
+		poConns = append(poConns, poConn{index: i, driver: driver, need: need})
+		if need > chainLen[driver] {
+			chainLen[driver] = need
+		}
+	}
+
+	// Pass 2: emit combinational gates with rewired fanins, then the
+	// shared register chains.
+	tap := func(driver string, k int) string {
+		if k == 0 {
+			return driver
+		}
+		return fmt.Sprintf("%s__r%d", driver, k)
+	}
+	for _, gate := range c.Gates {
+		if gate.Type == netlist.DFF {
+			continue
+		}
+		fanin := make([]string, len(gate.Fanin))
+		for _, cn := range connsOf[gate.Name] {
+			fanin[cn.pin] = tap(cn.driver, cn.need)
+		}
+		if _, err := out.AddGate(gate.Name, gate.Type, fanin...); err != nil {
+			return nil, err
+		}
+	}
+	for driver, n := range chainLen {
+		for k := 1; k <= n; k++ {
+			if _, err := out.AddGate(tap(driver, k), netlist.DFF, tap(driver, k-1)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, pc := range poConns {
+		out.AddOutput(tap(pc.driver, pc.need))
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("retime: materialised netlist invalid: %w", err)
+	}
+	return out, nil
+}

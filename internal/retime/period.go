@@ -1,0 +1,138 @@
+package retime
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The paper's abstract promises that partitioning-with-retiming "provides a
+// framework for further performance optimization"; this file supplies it:
+// classic Leiserson-Saxe minimum-clock-period retiming under a unit gate
+// delay model, via the FEAS relaxation algorithm and a binary search over
+// feasible periods.
+
+// delayOf returns the propagation delay of vertex v: one unit per
+// combinational cell, zero for the host vertices.
+func (cg *CombGraph) delayOf(v int) int {
+	if cg.Vertices[v].Host {
+		return 0
+	}
+	return 1
+}
+
+// Period returns the clock period of cg under labelling rho: the largest
+// total delay of a register-free path. It fails if rho is illegal or a
+// register-free cycle exists.
+func (cg *CombGraph) Period(rho []int) (int, error) {
+	if err := cg.CheckLegal(rho); err != nil {
+		return 0, err
+	}
+	arr, ok := cg.arrivals(rho)
+	if !ok {
+		return 0, errors.New("retime: register-free cycle")
+	}
+	max := 0
+	for v := range arr {
+		if arr[v] > max {
+			max = arr[v]
+		}
+	}
+	return max, nil
+}
+
+// arrivals computes per-vertex arrival times over the zero-weight subgraph
+// by iterative relaxation; ok=false signals a register-free cycle.
+func (cg *CombGraph) arrivals(rho []int) ([]int, bool) {
+	n := len(cg.Vertices)
+	arr := make([]int, n)
+	for v := range arr {
+		arr[v] = cg.delayOf(v)
+	}
+	for round := 0; round < n; round++ {
+		changed := false
+		for i := range cg.Edges {
+			e := &cg.Edges[i]
+			if e.W+rho[e.To]-rho[e.From] != 0 {
+				continue
+			}
+			if a := arr[e.From] + cg.delayOf(e.To); a > arr[e.To] {
+				arr[e.To] = a
+				changed = true
+			}
+		}
+		if !changed {
+			return arr, true
+		}
+	}
+	return nil, false
+}
+
+// feas runs one FEAS attempt for target period c and reports the labelling
+// and whether the target was met.
+func (cg *CombGraph) feas(c int) ([]int, bool) {
+	n := len(cg.Vertices)
+	rho := make([]int, n)
+	for iter := 0; iter < n-1; iter++ {
+		arr, ok := cg.arrivals(rho)
+		if !ok {
+			return nil, false
+		}
+		moved := false
+		for v := range arr {
+			// The host source keeps rho 0 (inputs arrive when they arrive);
+			// the host sink may lag — PPET tolerates added I/O latency, so
+			// peripheral pipelining is legal (paper section 2.3).
+			if arr[v] > c && v != cg.SourceV {
+				rho[v]++ // lag the vertex: pull a register onto its inputs
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	if cg.CheckLegal(rho) != nil {
+		return nil, false
+	}
+	arr, ok := cg.arrivals(rho)
+	if !ok {
+		return nil, false
+	}
+	for v := range arr {
+		if arr[v] > c {
+			return nil, false
+		}
+	}
+	return rho, true
+}
+
+// MinimizePeriod finds a legal retiming minimising the clock period under
+// the unit-delay model. It returns the labelling and the achieved period.
+func MinimizePeriod(cg *CombGraph) ([]int, int, error) {
+	if cg == nil || len(cg.Vertices) == 0 {
+		return nil, 0, errors.New("retime: empty graph")
+	}
+	zero := make([]int, len(cg.Vertices))
+	p0, err := cg.Period(zero)
+	if err != nil {
+		return nil, 0, fmt.Errorf("retime: initial configuration: %w", err)
+	}
+	if p0 <= 1 {
+		return zero, p0, nil
+	}
+	// Binary search the feasible period in [1, p0].
+	lo, hi := 1, p0
+	bestRho, bestP := zero, p0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rho, ok := cg.feas(mid); ok {
+			if p, err := cg.Period(rho); err == nil && p < bestP {
+				bestRho, bestP = rho, p
+			}
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bestRho, bestP, nil
+}

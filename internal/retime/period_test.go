@@ -1,0 +1,125 @@
+package retime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// correlator is the classic Leiserson-Saxe example shape: a long
+// combinational chain that retiming can pipeline down to a short period
+// because the ring carries plenty of registers.
+const correlator = `
+INPUT(x)
+OUTPUT(y)
+r1 = DFF(x)
+r2 = DFF(r1)
+r3 = DFF(r2)
+c1 = XNOR(x, r3)
+c2 = XNOR(x, r2)
+c3 = XNOR(x, r1)
+a1 = AND(c1, c2)
+a2 = AND(a1, c3)
+y = BUFF(a2)
+`
+
+func TestPeriodIdentity(t *testing.T) {
+	c, err := netlist.ParseBenchString("corr", correlator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := Build(g)
+	zero := make([]int, len(cg.Vertices))
+	p, err := cg.Period(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest register-free path: c -> a1 -> a2 -> y = 4 unit delays.
+	if p != 4 {
+		t.Fatalf("period = %d, want 4", p)
+	}
+}
+
+func TestMinimizePeriodImproves(t *testing.T) {
+	c, err := netlist.ParseBenchString("corr", correlator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := Build(g)
+	rho, p, err := MinimizePeriod(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cg.CheckLegal(rho); err != nil {
+		t.Fatalf("min-period retiming illegal: %v", err)
+	}
+	zero := make([]int, len(cg.Vertices))
+	p0, _ := cg.Period(zero)
+	if p > p0 {
+		t.Fatalf("minimised period %d worse than initial %d", p, p0)
+	}
+	if p >= 4 {
+		t.Fatalf("correlator should pipeline below 4, got %d", p)
+	}
+}
+
+func TestMinimizePeriodEmptyGraph(t *testing.T) {
+	if _, _, err := MinimizePeriod(nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, _, err := MinimizePeriod(&CombGraph{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+// Property: on random legal graphs, MinimizePeriod returns a legal
+// labelling whose period is never worse than the identity's.
+func TestMinimizePeriodProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		cg := &CombGraph{VertexOf: map[int]int{}}
+		for i := 0; i < n; i++ {
+			cg.Vertices = append(cg.Vertices, Vertex{ID: i, NodeID: i})
+		}
+		// Ring with at least one register per edge-gap to avoid
+		// register-free cycles, plus random forward chords.
+		for i := 0; i < n; i++ {
+			w := 1 + rng.Intn(2)
+			cg.Edges = append(cg.Edges, Edge{ID: i, From: i, To: (i + 1) % n, W: w, PathNets: []int{i}})
+		}
+		for j := 0; j < rng.Intn(n); j++ {
+			id := len(cg.Edges)
+			u, v := rng.Intn(n), rng.Intn(n)
+			cg.Edges = append(cg.Edges, Edge{ID: id, From: u, To: v, W: rng.Intn(3), PathNets: []int{id}})
+		}
+		zero := make([]int, n)
+		p0, err := cg.Period(zero)
+		if err != nil {
+			return true // register-free cycle from a chord: skip
+		}
+		rho, p, err := MinimizePeriod(cg)
+		if err != nil {
+			return false
+		}
+		if cg.CheckLegal(rho) != nil {
+			return false
+		}
+		got, err := cg.Period(rho)
+		return err == nil && got == p && p <= p0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+// Segment is a compiled circuit segment (one PPET partition/CUT): its
+// external input nets are driven by a preceding CBIT in TPG mode, its
+// boundary output nets are observed by succeeding CBITs in PSA mode, and
+// its internal flip-flops clock normally while patterns pipeline through
+// (paper Figure 1(a)). Evaluation is 64-way bit-parallel; the lanes are
+// used for parallel-fault simulation (lane 0 fault-free, lanes 1..63 each
+// carrying one injected fault).
+type Segment struct {
+	// InputNames are the external input net names in deterministic order.
+	InputNames []string
+	// OutputNames are the boundary output net names (nets sourced in the
+	// segment with a sink outside it, or feeding a primary output).
+	OutputNames []string
+
+	names   []string
+	index   map[string]int
+	inputs  []int
+	outputs []int
+	ops     []gateOp
+	dffs    []dffInfo
+
+	// force0/force1 are per-signal fault-injection masks (lane bits).
+	force0, force1 []uint64
+}
+
+// BuildSegment compiles the cluster given by nodes (cell node IDs of g,
+// backed by circuit c) with the given external input nets. It treats
+// flip-flops inside the segment as normal sequential state.
+func BuildSegment(c *netlist.Circuit, g *graph.G, nodes []int, inputNets []int) (*Segment, error) {
+	sg := &Segment{index: make(map[string]int)}
+	inCluster := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		inCluster[v] = true
+	}
+	idx := func(name string) int {
+		if i, ok := sg.index[name]; ok {
+			return i
+		}
+		i := len(sg.names)
+		sg.index[name] = i
+		sg.names = append(sg.names, name)
+		return i
+	}
+
+	ins := append([]int(nil), inputNets...)
+	sort.Ints(ins)
+	for _, e := range ins {
+		name := g.Nets[e].Name
+		sg.InputNames = append(sg.InputNames, name)
+		sg.inputs = append(sg.inputs, idx(name))
+	}
+
+	// Gather segment gates in a stable order.
+	var segNodes []int
+	for _, v := range nodes {
+		segNodes = append(segNodes, v)
+	}
+	sort.Ints(segNodes)
+
+	// DFFs first (their outputs are state sources).
+	external := make(map[string]bool)
+	for _, name := range sg.InputNames {
+		external[name] = true
+	}
+	type pendingGate struct {
+		gate *netlist.Gate
+	}
+	var pend []pendingGate
+	for _, v := range segNodes {
+		gt := c.Gate(g.Nodes[v].Name)
+		if gt == nil {
+			return nil, fmt.Errorf("sim: node %q not in circuit", g.Nodes[v].Name)
+		}
+		if gt.Type == netlist.DFF {
+			out := idx(gt.Name)
+			in := idx(gt.Fanin[0])
+			sg.dffs = append(sg.dffs, dffInfo{out: out, in: in})
+		} else {
+			pend = append(pend, pendingGate{gate: gt})
+		}
+	}
+	ready := make(map[int]bool)
+	for _, i := range sg.inputs {
+		ready[i] = true
+	}
+	for _, d := range sg.dffs {
+		ready[d.out] = true
+	}
+	resolve := idx
+	// Pre-register all gate outputs so we can distinguish internal signals.
+	internalOut := make(map[string]bool)
+	for _, p := range pend {
+		internalOut[p.gate.Name] = true
+	}
+	for _, d := range sg.dffs {
+		internalOut[sg.names[d.out]] = true
+	}
+	// Any fanin that is neither an input net name nor an internal output is
+	// an implicit external signal: mark ready (constant 0 unless driven).
+	for _, p := range pend {
+		for _, f := range p.gate.Fanin {
+			if !external[f] && !internalOut[f] {
+				ready[resolve(f)] = true
+			}
+		}
+	}
+	for _, d := range sg.dffs {
+		f := sg.names[d.in]
+		if !external[f] && !internalOut[f] {
+			ready[d.in] = true
+		}
+	}
+
+	for len(pend) > 0 {
+		progressed := false
+		rest := pend[:0]
+		for _, p := range pend {
+			ok := true
+			for _, f := range p.gate.Fanin {
+				if i, exists := sg.index[f]; !exists || !ready[i] {
+					if internalOut[f] || external[f] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				rest = append(rest, p)
+				continue
+			}
+			fanin := make([]int, len(p.gate.Fanin))
+			for i, f := range p.gate.Fanin {
+				fanin[i] = resolve(f)
+			}
+			out := resolve(p.gate.Name)
+			sg.ops = append(sg.ops, gateOp{typ: p.gate.Type, out: out, fanin: fanin})
+			ready[out] = true
+			progressed = true
+		}
+		pend = rest
+		if !progressed {
+			return nil, fmt.Errorf("sim: combinational cycle inside segment at %q", pend[0].gate.Name)
+		}
+	}
+
+	// Boundary outputs: nets sourced at a segment node with a sink outside.
+	for _, v := range segNodes {
+		for _, e := range g.Out[v] {
+			net := &g.Nets[e]
+			boundary := false
+			for _, s := range net.Sinks {
+				if !inCluster[s] {
+					boundary = true
+					break
+				}
+			}
+			if boundary {
+				sg.OutputNames = append(sg.OutputNames, net.Name)
+				sg.outputs = append(sg.outputs, resolve(net.Name))
+			}
+		}
+	}
+	sort.Strings(sg.OutputNames)
+	sort.Ints(sg.outputs)
+
+	sg.force0 = make([]uint64, len(sg.names))
+	sg.force1 = make([]uint64, len(sg.names))
+	return sg, nil
+}
+
+// NumInputs returns the external input count (the CBIT width this segment
+// needs in TPG mode).
+func (sg *Segment) NumInputs() int { return len(sg.inputs) }
+
+// NumOutputs returns the boundary output count.
+func (sg *Segment) NumOutputs() int { return len(sg.outputs) }
+
+// NumDFFs returns the internal flip-flop count.
+func (sg *Segment) NumDFFs() int { return len(sg.dffs) }
+
+// Signals returns all signal names known to the segment (inputs, gate
+// outputs, implicit externals) in index order.
+func (sg *Segment) Signals() []string { return sg.names }
+
+// Fault is a single stuck-at fault on a named signal.
+type Fault struct {
+	Signal string
+	Stuck1 bool // stuck-at-1 if true, else stuck-at-0
+}
+
+func (f Fault) String() string {
+	v := 0
+	if f.Stuck1 {
+		v = 1
+	}
+	return fmt.Sprintf("%s/SA%d", f.Signal, v)
+}
+
+// ClearFaults removes all injected faults.
+func (sg *Segment) ClearFaults() {
+	for i := range sg.force0 {
+		sg.force0[i] = 0
+		sg.force1[i] = 0
+	}
+}
+
+// InjectFault injects fault f into lane (1..63); lane 0 is reserved for the
+// fault-free machine. Unknown signals are rejected.
+func (sg *Segment) InjectFault(f Fault, lane int) error {
+	if lane < 1 || lane > 63 {
+		return fmt.Errorf("sim: lane %d out of range 1..63", lane)
+	}
+	i, ok := sg.index[f.Signal]
+	if !ok {
+		return fmt.Errorf("sim: unknown fault signal %q", f.Signal)
+	}
+	if f.Stuck1 {
+		sg.force1[i] |= 1 << uint(lane)
+	} else {
+		sg.force0[i] |= 1 << uint(lane)
+	}
+	return nil
+}
+
+// SegState is the sequential state of a segment (a word per signal).
+type SegState struct{ V []uint64 }
+
+// NewState returns an all-zero state.
+func (sg *Segment) NewState() *SegState { return &SegState{V: make([]uint64, len(sg.names))} }
+
+// Cycle applies one clock: drive the inputs (pattern bit i broadcast to all
+// 64 lanes), settle combinational logic with fault injection, sample the
+// boundary outputs, then clock internal flip-flops. pattern bit i drives
+// input i (LSB = InputNames[0]).
+func (sg *Segment) Cycle(st *SegState, pattern uint64) (outputs []uint64) {
+	v := st.V
+	for i, sig := range sg.inputs {
+		var w uint64
+		if pattern&(1<<uint(i)) != 0 {
+			w = ^uint64(0)
+		}
+		v[sig] = (w &^ sg.force0[sig]) | sg.force1[sig]
+	}
+	for i := range sg.ops {
+		op := &sg.ops[i]
+		r := evalGate(op.typ, op.fanin, v)
+		v[op.out] = (r &^ sg.force0[op.out]) | sg.force1[op.out]
+	}
+	outputs = make([]uint64, len(sg.outputs))
+	for i, sig := range sg.outputs {
+		outputs[i] = v[sig]
+	}
+	for i := range sg.dffs {
+		d := &sg.dffs[i]
+		nv := v[d.in]
+		v[d.out] = (nv &^ sg.force0[d.out]) | sg.force1[d.out]
+	}
+	return outputs
+}
+
+// CycleOutputsInto is Cycle without allocating; out must have NumOutputs
+// entries.
+func (sg *Segment) CycleOutputsInto(st *SegState, pattern uint64, out []uint64) {
+	v := st.V
+	for i, sig := range sg.inputs {
+		var w uint64
+		if pattern&(1<<uint(i)) != 0 {
+			w = ^uint64(0)
+		}
+		v[sig] = (w &^ sg.force0[sig]) | sg.force1[sig]
+	}
+	for i := range sg.ops {
+		op := &sg.ops[i]
+		r := evalGate(op.typ, op.fanin, v)
+		v[op.out] = (r &^ sg.force0[op.out]) | sg.force1[op.out]
+	}
+	for i, sig := range sg.outputs {
+		out[i] = v[sig]
+	}
+	for i := range sg.dffs {
+		d := &sg.dffs[i]
+		nv := v[d.in]
+		v[d.out] = (nv &^ sg.force0[d.out]) | sg.force1[d.out]
+	}
+}

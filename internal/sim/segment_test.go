@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// segmentFixture compiles a whole circuit as a single segment (every cell,
+// all PI nets as inputs).
+func segmentFixture(t *testing.T, text string) (*netlist.Circuit, *graph.G, *Segment) {
+	t.Helper()
+	c, err := netlist.ParseBenchString("seg", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, inputNets []int
+	for _, n := range g.Nodes {
+		if g.IsCell(n.ID) {
+			nodes = append(nodes, n.ID)
+		}
+	}
+	for e := range g.Nets {
+		if g.Nodes[g.Nets[e].Source].Kind == graph.KindPI {
+			inputNets = append(inputNets, e)
+		}
+	}
+	sg, err := BuildSegment(c, g, nodes, inputNets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g, sg
+}
+
+func TestBuildSegmentS27(t *testing.T) {
+	_, _, sg := segmentFixture(t, s27)
+	if sg.NumInputs() != 4 {
+		t.Fatalf("inputs = %d, want 4", sg.NumInputs())
+	}
+	if sg.NumDFFs() != 3 {
+		t.Fatalf("dffs = %d, want 3", sg.NumDFFs())
+	}
+	// G17 feeds the PO: the only boundary output of the whole-circuit
+	// segment.
+	if sg.NumOutputs() != 1 || sg.OutputNames[0] != "G17" {
+		t.Fatalf("outputs = %v", sg.OutputNames)
+	}
+}
+
+func TestSegmentMatchesEvaluator(t *testing.T) {
+	// Whole-circuit segment must agree with the reference sequential
+	// evaluator cycle by cycle.
+	c, _, sg := segmentFixture(t, s27)
+	ev, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sg.NewState()
+	es := ev.NewState()
+	for cycle := 0; cycle < 32; cycle++ {
+		pattern := uint64(cycle * 7 % 16)
+		outs := sg.Cycle(st, pattern)
+		// Reference: inputs are G0..G3 in sorted net-name order; segment
+		// input order is by net id = circuit order here.
+		for i := 0; i < 4; i++ {
+			var w uint64
+			if pattern&(1<<uint(i)) != 0 {
+				w = ^uint64(0)
+			}
+			ev.SetInput(es, i, w)
+		}
+		ev.EvalComb(es)
+		segBit := outs[0] & 1
+		evBit := ev.Output(es, 0) & 1
+		if segBit != evBit {
+			t.Fatalf("cycle %d: segment G17=%d evaluator=%d", cycle, segBit, evBit)
+		}
+		ev.ClockDFFs(es)
+	}
+}
+
+func TestSegmentFaultInjection(t *testing.T) {
+	_, _, sg := segmentFixture(t, s27)
+	if err := sg.InjectFault(Fault{Signal: "G8", Stuck1: true}, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := sg.NewState()
+	// After injection, lane 1 of signal G8 is forced to 1 regardless of
+	// inputs; drive a pattern where fault-free G8=0 and check divergence
+	// eventually shows at the output or internal state.
+	diverged := false
+	for cycle := 0; cycle < 64 && !diverged; cycle++ {
+		outs := sg.Cycle(st, uint64(cycle%16))
+		for _, w := range outs {
+			if (w & 1) != ((w >> 1) & 1) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("stuck-at-1 on G8 never visible at segment outputs")
+	}
+	sg.ClearFaults()
+}
+
+func TestInjectFaultValidation(t *testing.T) {
+	_, _, sg := segmentFixture(t, s27)
+	if err := sg.InjectFault(Fault{Signal: "nope"}, 1); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+	if err := sg.InjectFault(Fault{Signal: "G8"}, 0); err == nil {
+		t.Fatal("lane 0 accepted")
+	}
+	if err := sg.InjectFault(Fault{Signal: "G8"}, 64); err == nil {
+		t.Fatal("lane 64 accepted")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	if (Fault{Signal: "x", Stuck1: true}).String() != "x/SA1" {
+		t.Fatal("fault string")
+	}
+	if (Fault{Signal: "x"}).String() != "x/SA0" {
+		t.Fatal("fault string SA0")
+	}
+}
+
+func TestSubClusterSegment(t *testing.T) {
+	// Build a segment for just the cluster {G12, G13, G7} with inputs
+	// G1, G2 (PIs) — G7's loop closes internally.
+	c, g, _ := segmentFixture(t, s27)
+	ids := func(names ...string) []int {
+		var out []int
+		for _, n := range names {
+			id, ok := g.NodeByName(n)
+			if !ok {
+				t.Fatalf("missing node %s", n)
+			}
+			out = append(out, id)
+		}
+		return out
+	}
+	nodes := ids("G12", "G13", "G7")
+	var inputNets []int
+	for e := range g.Nets {
+		name := g.Nets[e].Name
+		if name == "G1" || name == "G2" {
+			inputNets = append(inputNets, e)
+		}
+	}
+	sg, err := BuildSegment(c, g, nodes, inputNets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.NumInputs() != 2 || sg.NumDFFs() != 1 {
+		t.Fatalf("inputs=%d dffs=%d", sg.NumInputs(), sg.NumDFFs())
+	}
+	// G12 is read by G15 (outside): boundary output.
+	foundG12 := false
+	for _, o := range sg.OutputNames {
+		if o == "G12" {
+			foundG12 = true
+		}
+	}
+	if !foundG12 {
+		t.Fatalf("boundary outputs = %v, want G12 included", sg.OutputNames)
+	}
+	// Functional check: G12 = NOR(G1, G7), G13 = NOR(G2, G12), G7 = DFF(G13).
+	st := sg.NewState()
+	// inputs sorted by net id: G1 before G2.
+	out := sg.Cycle(st, 0b00) // G1=0, G2=0; G7=0 -> G12=1
+	var g12 uint64
+	for i, name := range sg.OutputNames {
+		if name == "G12" {
+			g12 = out[i] & 1
+		}
+	}
+	if g12 != 1 {
+		t.Fatalf("G12 = %d, want 1", g12)
+	}
+}
+
+func TestCycleOutputsIntoMatchesCycle(t *testing.T) {
+	_, _, sg := segmentFixture(t, s27)
+	a := sg.NewState()
+	b := sg.NewState()
+	buf := make([]uint64, sg.NumOutputs())
+	for cycle := 0; cycle < 16; cycle++ {
+		p := uint64(cycle % 16)
+		outs := sg.Cycle(a, p)
+		sg.CycleOutputsInto(b, p, buf)
+		for i := range outs {
+			if outs[i] != buf[i] {
+				t.Fatalf("cycle %d output %d mismatch", cycle, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package sim is a gate-level logic simulator: levelized, 64-way
+// bit-parallel combinational evaluation plus synchronous sequential
+// stepping. It is the substrate that validates PPET self-testing (pattern
+// generation, response capture, fault coverage) on partitioned circuits.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Evaluator is a compiled circuit ready for simulation. Signal values are
+// uint64 words carrying 64 independent patterns in parallel.
+type Evaluator struct {
+	c *netlist.Circuit
+
+	// Signals maps signal name -> dense index.
+	Signals map[string]int
+	Names   []string
+
+	inputs  []int // signal indices of PIs
+	outputs []int // signal indices of POs
+	dffs    []dffInfo
+	order   []gateOp // topological evaluation order (comb gates only)
+}
+
+type dffInfo struct {
+	out int // signal index of the DFF output
+	in  int // signal index of its data input
+}
+
+type gateOp struct {
+	typ   netlist.GateType
+	out   int
+	fanin []int
+}
+
+// Compile builds an evaluator; it fails on combinational cycles.
+func Compile(c *netlist.Circuit) (*Evaluator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{c: c, Signals: make(map[string]int)}
+	idx := func(name string) int {
+		if i, ok := ev.Signals[name]; ok {
+			return i
+		}
+		i := len(ev.Names)
+		ev.Signals[name] = i
+		ev.Names = append(ev.Names, name)
+		return i
+	}
+	for _, in := range c.Inputs {
+		ev.inputs = append(ev.inputs, idx(in))
+	}
+	for _, g := range c.Gates {
+		idx(g.Name)
+	}
+	for _, out := range c.Outputs {
+		ev.outputs = append(ev.outputs, idx(out))
+	}
+
+	// Kahn topological sort over combinational gates; DFF outputs and PIs
+	// are sources.
+	ready := make([]bool, len(ev.Names))
+	for _, i := range ev.inputs {
+		ready[i] = true
+	}
+	for _, g := range c.Gates {
+		if g.Type == netlist.DFF {
+			ready[ev.Signals[g.Name]] = true
+			ev.dffs = append(ev.dffs, dffInfo{out: ev.Signals[g.Name], in: ev.Signals[g.Fanin[0]]})
+		}
+	}
+	pending := make([]*netlist.Gate, 0, len(c.Gates))
+	for _, g := range c.Gates {
+		if g.Type != netlist.DFF {
+			pending = append(pending, g)
+		}
+	}
+	for len(pending) > 0 {
+		progressed := false
+		rest := pending[:0]
+		for _, g := range pending {
+			ok := true
+			for _, in := range g.Fanin {
+				if !ready[ev.Signals[in]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				rest = append(rest, g)
+				continue
+			}
+			fanin := make([]int, len(g.Fanin))
+			for i, in := range g.Fanin {
+				fanin[i] = ev.Signals[in]
+			}
+			ev.order = append(ev.order, gateOp{typ: g.Type, out: ev.Signals[g.Name], fanin: fanin})
+			ready[ev.Signals[g.Name]] = true
+			progressed = true
+		}
+		pending = rest
+		if !progressed {
+			return nil, fmt.Errorf("sim: combinational cycle involving %q", pending[0].Name)
+		}
+	}
+	return ev, nil
+}
+
+// NumSignals returns the signal count.
+func (ev *Evaluator) NumSignals() int { return len(ev.Names) }
+
+// InputIndex returns the dense index of primary input i.
+func (ev *Evaluator) InputIndex(i int) int { return ev.inputs[i] }
+
+// OutputIndex returns the dense index of primary output i.
+func (ev *Evaluator) OutputIndex(i int) int { return ev.outputs[i] }
+
+// NumDFFs returns the flip-flop count.
+func (ev *Evaluator) NumDFFs() int { return len(ev.dffs) }
+
+// State is one simulation state: a word per signal (64 parallel patterns).
+type State struct {
+	V []uint64
+}
+
+// NewState allocates an all-zero state for the evaluator.
+func (ev *Evaluator) NewState() *State { return &State{V: make([]uint64, len(ev.Names))} }
+
+// SetInput sets primary input i (by position in Circuit.Inputs).
+func (ev *Evaluator) SetInput(s *State, i int, w uint64) { s.V[ev.inputs[i]] = w }
+
+// Output reads primary output i.
+func (ev *Evaluator) Output(s *State, i int) uint64 { return s.V[ev.outputs[i]] }
+
+// SetDFF sets the present-state output of flip-flop i.
+func (ev *Evaluator) SetDFF(s *State, i int, w uint64) { s.V[ev.dffs[i].out] = w }
+
+// DFF reads the present-state output of flip-flop i.
+func (ev *Evaluator) DFF(s *State, i int) uint64 { return s.V[ev.dffs[i].out] }
+
+// EvalComb evaluates all combinational gates in topological order, given
+// the PI and DFF-output entries of s.
+func (ev *Evaluator) EvalComb(s *State) {
+	v := s.V
+	for i := range ev.order {
+		op := &ev.order[i]
+		v[op.out] = evalGate(op.typ, op.fanin, v)
+	}
+}
+
+// ClockDFFs latches every flip-flop's data input into its output
+// (call after EvalComb to advance one cycle).
+func (ev *Evaluator) ClockDFFs(s *State) {
+	for i := range ev.dffs {
+		s.V[ev.dffs[i].out] = s.V[ev.dffs[i].in]
+	}
+}
+
+// Step runs one full synchronous cycle: combinational settle then clock.
+func (ev *Evaluator) Step(s *State) {
+	ev.EvalComb(s)
+	ev.ClockDFFs(s)
+}
+
+func evalGate(t netlist.GateType, fanin []int, v []uint64) uint64 {
+	switch t {
+	case netlist.And, netlist.Nand:
+		r := ^uint64(0)
+		for _, f := range fanin {
+			r &= v[f]
+		}
+		if t == netlist.Nand {
+			return ^r
+		}
+		return r
+	case netlist.Or, netlist.Nor:
+		r := uint64(0)
+		for _, f := range fanin {
+			r |= v[f]
+		}
+		if t == netlist.Nor {
+			return ^r
+		}
+		return r
+	case netlist.Xor, netlist.Xnor:
+		r := uint64(0)
+		for _, f := range fanin {
+			r ^= v[f]
+		}
+		if t == netlist.Xnor {
+			return ^r
+		}
+		return r
+	case netlist.Not:
+		return ^v[fanin[0]]
+	case netlist.Buf, netlist.DFF:
+		return v[fanin[0]]
+	case netlist.Mux:
+		sel := v[fanin[0]]
+		return (v[fanin[1]] &^ sel) | (v[fanin[2]] & sel)
+	}
+	return 0
+}

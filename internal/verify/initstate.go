@@ -1,0 +1,175 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/retime"
+)
+
+// InitialState computes register initial values for the retimed circuit by
+// decomposing rho into unit moves (Leiserson-Saxe Lemma 1 is additive, so
+// any legal retiming decomposes into single-step vertex moves that each
+// keep every edge weight nonnegative):
+//
+//   - a forward move (rho step -1) consumes the register adjacent to the
+//     vertex on every in-edge and produces one on every out-edge whose value
+//     is the gate evaluated on the consumed values — exact;
+//   - a backward move (rho step +1) consumes the adjacent register on every
+//     out-edge and produces unknowns on the in-edges (the gate's preimage is
+//     not unique), following Touati/Brayton's conservative treatment;
+//   - moves at the host vertices add or remove peripheral pipeline
+//     registers whose pre-reset content is unknown.
+//
+// origInit gives the original per-edge register values tail-to-head (nil:
+// all zeros, the ISCAS89 reset convention). The returned slices match the
+// retimed weights w_rho(e). exact reports whether every produced value was
+// computed without introducing X.
+func InitialState(c *netlist.Circuit, g *graph.G, cg *retime.CombGraph, rho []int, origInit [][]Tri) (init [][]Tri, exact bool, err error) {
+	if len(rho) != len(cg.Vertices) {
+		return nil, false, fmt.Errorf("verify: rho has %d labels, want %d", len(rho), len(cg.Vertices))
+	}
+	if err := cg.CheckLegal(rho); err != nil {
+		return nil, false, err
+	}
+
+	// Working register lists per edge.
+	regs := make([][]Tri, len(cg.Edges))
+	for e := range cg.Edges {
+		regs[e] = make([]Tri, cg.Edges[e].W)
+		for i := range regs[e] {
+			regs[e][i] = F
+			if origInit != nil && e < len(origInit) && i < len(origInit[e]) {
+				regs[e][i] = origInit[e][i]
+			}
+		}
+	}
+
+	inEdges := make([][]int, len(cg.Vertices))
+	outEdges := make([][]int, len(cg.Vertices))
+	for e := range cg.Edges {
+		inEdges[cg.Edges[e].To] = append(inEdges[cg.Edges[e].To], e)
+		outEdges[cg.Edges[e].From] = append(outEdges[cg.Edges[e].From], e)
+	}
+
+	gateOf := make([]netlist.GateType, len(cg.Vertices))
+	for _, v := range cg.Vertices {
+		if v.Host {
+			continue
+		}
+		gt := c.Gate(g.Nodes[v.NodeID].Name)
+		if gt == nil {
+			return nil, false, fmt.Errorf("verify: vertex %q has no gate", g.Nodes[v.NodeID].Name)
+		}
+		gateOf[v.ID] = gt.Type
+	}
+
+	remaining := append([]int(nil), rho...)
+	exact = true
+
+	canForward := func(v int) bool { // rho step -1: every in-edge carries a register
+		if v == cg.SourceV {
+			return true // peripheral insertion on out-edges
+		}
+		for _, e := range inEdges[v] {
+			if len(regs[e]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	canBackward := func(v int) bool { // rho step +1: every out-edge carries one
+		if v == cg.SinkV {
+			return true
+		}
+		for _, e := range outEdges[v] {
+			if len(regs[e]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	forward := func(v int) {
+		var ins []Tri
+		hostMove := v == cg.SourceV
+		if !hostMove {
+			for _, e := range inEdges[v] {
+				r := regs[e]
+				ins = append(ins, r[len(r)-1]) // head register, adjacent to v
+				regs[e] = r[:len(r)-1]
+			}
+		}
+		var out Tri = X
+		if !hostMove {
+			out = EvalGate(gateOf[v], ins)
+		} else {
+			exact = false // fresh peripheral register: pre-reset unknown
+		}
+		for _, e := range outEdges[v] {
+			regs[e] = append([]Tri{out}, regs[e]...) // tail side, adjacent to v
+		}
+		remaining[v]++
+	}
+	backward := func(v int) {
+		hostMove := v == cg.SinkV
+		if !hostMove {
+			for _, e := range outEdges[v] {
+				regs[e] = regs[e][1:] // tail register, adjacent to v
+			}
+			exact = false // preimage unknown
+		} else {
+			exact = false
+		}
+		for _, e := range inEdges[v] {
+			regs[e] = append(regs[e], X) // head side, adjacent to v
+		}
+		remaining[v]--
+	}
+
+	for {
+		progress := false
+		for _, v := range cg.Vertices {
+			for remaining[v.ID] < 0 && canForward(v.ID) {
+				forward(v.ID)
+				progress = true
+			}
+			for remaining[v.ID] > 0 && canBackward(v.ID) {
+				backward(v.ID)
+				progress = true
+			}
+		}
+		done := true
+		for _, r := range remaining {
+			if r != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			// Could not decompose (should not happen for legal rho); fall
+			// back to shape-only initial state: all X at the final weights.
+			for e := range cg.Edges {
+				w := cg.RetimedWeight(rho, e)
+				regs[e] = make([]Tri, w)
+				for i := range regs[e] {
+					regs[e][i] = X
+				}
+			}
+			return regs, false, nil
+		}
+	}
+
+	// Sanity: lengths must equal the retimed weights.
+	for e := range cg.Edges {
+		if len(regs[e]) != cg.RetimedWeight(rho, e) {
+			return nil, false, fmt.Errorf("verify: edge %d ended with %d registers, want %d",
+				e, len(regs[e]), cg.RetimedWeight(rho, e))
+		}
+	}
+	return regs, exact, nil
+}

@@ -1,0 +1,68 @@
+package verify
+
+import "testing"
+
+func TestMachineRegsAccessor(t *testing.T) {
+	c, g, cg := fixture(t, pipeline)
+	weights := make([]int, len(cg.Edges))
+	for e := range cg.Edges {
+		weights[e] = cg.Edges[e].W
+	}
+	m, err := NewMachine(c, g, cg, weights, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range cg.Edges {
+		regs := m.Regs(e)
+		if len(regs) != weights[e] {
+			t.Fatalf("edge %d: %d regs, want %d", e, len(regs), weights[e])
+		}
+		for _, v := range regs {
+			if v != X {
+				t.Fatal("nil init must leave registers unknown")
+			}
+		}
+		// The returned slice is a copy.
+		if len(regs) > 0 {
+			regs[0] = T
+			if m.Regs(e)[0] == T {
+				t.Fatal("Regs returned internal storage")
+			}
+		}
+	}
+}
+
+func TestMachineUnknownInputsPropagate(t *testing.T) {
+	c, g, cg := fixture(t, pipeline)
+	weights := make([]int, len(cg.Edges))
+	for e := range cg.Edges {
+		weights[e] = cg.Edges[e].W
+	}
+	zero := make([][]Tri, len(cg.Edges))
+	for e := range cg.Edges {
+		zero[e] = make([]Tri, weights[e])
+	}
+	m, err := NewMachine(c, g, cg, weights, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing inputs default to X; NAND(X, X) can still be binary only if
+	// a controlling value appears. Just require no panic and a complete
+	// output map.
+	outs := m.Cycle(map[int]Tri{})
+	if len(outs) == 0 {
+		t.Fatal("no outputs")
+	}
+}
+
+func TestMachineRegisterFreeCycleRejected(t *testing.T) {
+	// Force a zero on an edge that sits on a cycle: s27's comb graph has
+	// cycles whose registers we can strip by lying about the weights.
+	c, g, cg := fixture(t, s27)
+	weights := make([]int, len(cg.Edges))
+	// All-zero weights collapse every register: the feedback loops become
+	// combinational and the machine must refuse.
+	if _, err := NewMachine(c, g, cg, weights, nil); err == nil {
+		t.Fatal("register-free cycle accepted")
+	}
+}
