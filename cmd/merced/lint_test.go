@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.bench")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func lintFile(t *testing.T, cfg lintRun) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := runLint(cfg, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestLintBrokenNetlistExits2(t *testing.T) {
+	path := writeBench(t, `
+INPUT(a)
+OUTPUT(y)
+y = AND(a, nothere)
+l1 = OR(l2, a)
+l2 = NOR(l1, a)
+`)
+	code, out, _ := lintFile(t, lintRun{file: path, lk: 4, beta: 50, seed: 1, threshold: "error"})
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitFindings, out)
+	}
+	for _, id := range []string{"NL003", "NL006"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestLintSeverityThreshold(t *testing.T) {
+	// Structurally sound, one warning (q floats), no errors.
+	path := writeBench(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+q = DFF(y)
+`)
+	base := lintRun{file: path, lk: 4, beta: 50, seed: 1}
+
+	cfg := base
+	cfg.threshold = "error"
+	if code, out, _ := lintFile(t, cfg); code != exitClean {
+		t.Fatalf("warnings-only at threshold=error: exit %d, want 0\n%s", code, out)
+	}
+	cfg.threshold = "warning"
+	if code, _, _ := lintFile(t, cfg); code != exitFindings {
+		t.Fatalf("warnings-only at threshold=warning: exit %d, want 2", code)
+	}
+	cfg.threshold = "bogus"
+	if code, _, errw := lintFile(t, cfg); code != exitOperational || !strings.Contains(errw, "unknown severity") {
+		t.Fatalf("bogus threshold: exit %d (%q), want 1", code, errw)
+	}
+}
+
+func TestLintSeedBenchmarkClean(t *testing.T) {
+	code, out, errw := lintFile(t, lintRun{circuit: "s27", lk: 3, beta: 50, seed: 1, threshold: "error"})
+	if code != exitClean {
+		t.Fatalf("s27 lint exit %d, want 0\nstdout: %s\nstderr: %s", code, out, errw)
+	}
+	if !strings.Contains(out, "0 error(s)") {
+		t.Fatalf("unexpected summary: %s", out)
+	}
+}
+
+func TestLintJSONOutput(t *testing.T) {
+	path := writeBench(t, `
+INPUT(a)
+OUTPUT(y)
+y = BUF(ghost)
+`)
+	code, out, _ := lintFile(t, lintRun{file: path, lk: 4, beta: 50, seed: 1, threshold: "error", jsonOut: true})
+	if code != exitFindings {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	var got struct {
+		File        string `json:"file"`
+		Diagnostics []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+			Loc      struct {
+				Line int `json:"line"`
+			} `json:"loc"`
+		} `json:"diagnostics"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if got.Errors == 0 || len(got.Diagnostics) == 0 {
+		t.Fatalf("no findings in JSON: %s", out)
+	}
+	found := false
+	for _, d := range got.Diagnostics {
+		if d.Rule == "NL003" && d.Severity == "error" && d.Loc.Line == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("NL003 at line 4 missing: %s", out)
+	}
+}
+
+func TestLintMissingInputIsOperational(t *testing.T) {
+	code, _, errw := lintFile(t, lintRun{lk: 4, beta: 50, threshold: "error"})
+	if code != exitOperational {
+		t.Fatalf("exit %d, want 1 (%s)", code, errw)
+	}
+	code, _, _ = lintFile(t, lintRun{file: "/does/not/exist.bench", lk: 4, beta: 50, threshold: "error"})
+	if code != exitOperational {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestRuleCatalog(t *testing.T) {
+	var out bytes.Buffer
+	printRuleCatalog(false, &out)
+	s := out.String()
+	for _, id := range []string{
+		"NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007",
+		"NL008", "NL009", "NL010", "NL011",
+		"PT001", "PT002", "PT003", "PT004", "PT005", "PT006", "PT007",
+		"BT001", "BT002", "BT003", "BT004", "BT005",
+	} {
+		if !strings.Contains(s, id) {
+			t.Errorf("catalog missing %s", id)
+		}
+	}
+
+	out.Reset()
+	printRuleCatalog(true, &out)
+	var rows []struct {
+		ID    string `json:"id"`
+		Layer string `json:"layer"`
+		Doc   string `json:"doc"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("catalog JSON: %v", err)
+	}
+	if len(rows) < 23 {
+		t.Fatalf("catalog has %d rules, want >= 23", len(rows))
+	}
+	for _, r := range rows {
+		if r.Doc == "" {
+			t.Errorf("rule %s has no doc string", r.ID)
+		}
+	}
+}

@@ -8,6 +8,16 @@
 //
 //	merced -circuit s27 -lk 3
 //	merced -file design.bench -lk 16 -beta 50 -seed 1 -v
+//
+// Lint mode runs the internal/lint design-rule analyzer instead of the
+// report: netlist rules always, partition/retiming and BIST rules when the
+// circuit compiles. Exit status is 2 when findings reach the
+// -lint-severity threshold (default error), 0 otherwise.
+//
+//	merced -lint -file design.bench -lk 16
+//	merced -lint -circuit s27 -lk 3 -json
+//	merced -lint -lint-severity warning -circuit s510
+//	merced -lint -rules
 package main
 
 import (
@@ -36,7 +46,23 @@ func main() {
 	noRetime := flag.Bool("no-retime-solver", false, "skip the Leiserson-Saxe solver (per-SCC accounting only)")
 	minPeriod := flag.Bool("min-period", false, "also report the minimum clock period achievable by retiming (unit delays)")
 	emitPath := flag.String("emit", "", "write the self-testable netlist (retimed + A_CELLs + scan chain) to this .bench file")
+	doLint := flag.Bool("lint", false, "run the design-rule analyzer instead of compiling a report")
+	lintRules := flag.Bool("rules", false, "with -lint: print the rule catalog and exit")
+	jsonOut := flag.Bool("json", false, "with -lint: machine-readable JSON output")
+	lintSeverity := flag.String("lint-severity", "error", "with -lint: lowest severity that makes the exit status 2 (info, warning, error)")
 	flag.Parse()
+
+	if *lintRules {
+		printRuleCatalog(*jsonOut, os.Stdout)
+		return
+	}
+	if *doLint {
+		os.Exit(runLint(lintRun{
+			file: *file, circuit: *circuit,
+			lk: *lk, beta: *beta, seed: *seed, noRetime: *noRetime,
+			jsonOut: *jsonOut, threshold: *lintSeverity,
+		}, os.Stdout, os.Stderr))
+	}
 
 	c, err := loadCircuit(*file, *circuit)
 	if err != nil {

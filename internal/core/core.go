@@ -14,6 +14,7 @@ import (
 	"repro/internal/cbit"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/partition"
 	"repro/internal/retime"
@@ -46,6 +47,11 @@ type Options struct {
 	MaxSolveNodes int
 	// Locked nodes are excluded from clustering (Table 5 STEP 2.1).
 	Locked map[int]bool
+	// Lint gates the compilation on the internal/lint design rules: the
+	// netlist layer runs before STEP 1 and the partition/retiming layer
+	// after STEP 3, and any error-severity diagnostic aborts with a
+	// *LintError instead of handing corrupt state downstream.
+	Lint bool
 }
 
 // DefaultOptions returns the paper's experimental configuration for a
@@ -105,10 +111,30 @@ type Result struct {
 	Merges    []partition.MergeTrace
 	Areas     AreaReport
 	// Retiming holds the difference-constraint solution when
-	// Options.SolveRetiming ran.
-	Retiming *retime.Solution
-	Elapsed  time.Duration
-	Phases   Phases
+	// Options.SolveRetiming ran; CombGraph is the retiming graph it was
+	// solved on.
+	Retiming  *retime.Solution
+	CombGraph *retime.CombGraph
+	// Lint holds every diagnostic found when Options.Lint ran (all
+	// severities, both layers).
+	Lint    []lint.Diagnostic
+	Elapsed time.Duration
+	Phases  Phases
+}
+
+// LintError aborts a compilation whose artifacts violate design rules. The
+// partially built Result is still returned alongside it for reporting.
+type LintError struct {
+	// Stage is "netlist" or "partition", the layer that failed the gate.
+	Stage string
+	// Diags holds the failing layer's diagnostics (all severities).
+	Diags []lint.Diagnostic
+}
+
+func (e *LintError) Error() string {
+	errs := lint.Count(e.Diags, lint.Error)
+	return fmt.Sprintf("core: %s lint gate failed: %d error(s), %d warning(s)",
+		e.Stage, errs, lint.Count(e.Diags, lint.Warning))
 }
 
 // Compile runs the full Merced pipeline of Table 2 on the circuit.
@@ -125,6 +151,16 @@ func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
 	start := time.Now()
 	var ph Phases
 	mark := start
+
+	// STEP 0 (optional): netlist design rules, before any stage can choke
+	// on a malformed circuit.
+	var lintDiags []lint.Diagnostic
+	if opt.Lint {
+		lintDiags = lint.RunLayer(lint.CircuitContext(c), lint.LayerNetlist)
+		if lint.HasAtLeast(lintDiags, lint.Error) {
+			return &Result{Circuit: c, Lint: lintDiags}, &LintError{Stage: "netlist", Diags: lintDiags}
+		}
+	}
 
 	// STEP 1: graph representation.
 	g, err := graph.FromCircuit(c)
@@ -193,17 +229,33 @@ func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
 			limit = 300000
 		}
 		if g.NumNodes() <= limit {
-			sol, err := solveRetiming(g, scc, pres, fres)
+			sol, cg, err := solveRetiming(g, scc, pres, fres)
 			if err != nil {
 				return nil, fmt.Errorf("core: retiming solver: %w", err)
 			}
 			res.Retiming = sol
+			res.CombGraph = cg
 		}
 	}
 	ph.Retime, mark = lap(mark)
 	_ = mark
 	res.Areas = priceAreas(c, g, scc, pres, res.Retiming)
 	res.Phases = ph
+
+	// The artifact-layer lint gate: a violated partition invariant or an
+	// illegal retiming here means the area figures are fiction.
+	if opt.Lint {
+		ctx := &lint.Context{
+			File: c.Name, Circuit: c, Graph: g, SCC: scc,
+			Partition: pres, Retiming: res.Retiming, CombGraph: res.CombGraph,
+			LK: opt.LK, Beta: opt.Beta,
+		}
+		diags := lint.RunLayer(ctx, lint.LayerPartition)
+		res.Lint = append(lintDiags, diags...)
+		if lint.HasAtLeast(diags, lint.Error) {
+			return res, &LintError{Stage: "partition", Diags: diags}
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -252,7 +304,7 @@ func ratio(cbitArea, circuitArea float64) float64 {
 	return 100 * cbitArea / (circuitArea + cbitArea)
 }
 
-func solveRetiming(g *graph.G, scc *graph.SCCInfo, p *partition.Result, f *flow.Result) (*retime.Solution, error) {
+func solveRetiming(g *graph.G, scc *graph.SCCInfo, p *partition.Result, f *flow.Result) (*retime.Solution, *retime.CombGraph, error) {
 	cg := retime.Build(g)
 	cuts := make(map[int]bool, len(p.CutNets))
 	for _, e := range p.CutNets {
@@ -263,5 +315,6 @@ func solveRetiming(g *graph.G, scc *graph.SCCInfo, p *partition.Result, f *flow.
 	for _, e := range p.CutNets {
 		priority[e] = f.D[e]
 	}
-	return retime.Solve(cg, cuts, priority)
+	sol, err := retime.Solve(cg, cuts, priority)
+	return sol, cg, err
 }

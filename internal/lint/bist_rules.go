@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+func init() {
+	Register(Rule{
+		ID: "BT001", Title: "scan-chain", Severity: Error, Layer: LayerBIST,
+		Doc:   "The scan chain is not one connected order from SCANIN to SCANOUT: a cell's serial input does not read its predecessor, a cell repeats, or the chain tail is not what SCANOUT observes. Signature read-out and test-pattern preset (section 1) both shift through this chain.",
+		Check: checkScanChain,
+	})
+	Register(Rule{
+		ID: "BT002", Title: "mode-wiring", Severity: Error, Layer: LayerBIST,
+		Doc:   "An A_CELL's mode controls are not wired to the test controller: the AND must read TB1, the NOR must read TB2 (Figure 3(a)), and a multiplexed cell's bypass MUX must select on TMODE (Figure 3(c)). Miswired controls make the cell untestable or, worse, active in normal mode.",
+		Check: checkModeWiring,
+	})
+	Register(Rule{
+		ID: "BT003", Title: "signature-reach", Severity: Error, Layer: LayerBIST,
+		Doc:   "A signature register (scan cell) cannot reach the SCANOUT observation point through the emitted netlist, so its captured response is unobservable and the segment it absorbs is untested.",
+		Check: checkSignatureReach,
+	})
+	Register(Rule{
+		ID: "BT004", Title: "test-controls", Severity: Error, Layer: LayerBIST,
+		Doc:   "A test control signal (TB1, TB2, TMODE, SCANIN) is missing from the primary inputs, or SCANOUT is missing from the outputs: the test controller cannot drive the modes of Figure 3.",
+		Check: checkTestControls,
+	})
+	Register(Rule{
+		ID: "BT005", Title: "acell-structure", Severity: Error, Layer: LayerBIST,
+		Doc:   "A scan cell does not have the Figure 3(a) A_CELL structure: a DFF fed by XOR(AND(data, TB1), NOR(serial-in, TB2)). Cells with a different structure cannot realise the normal/scan/test modes.",
+		Check: checkACellStructure,
+	})
+}
+
+// acell is the traced Figure 3(a) structure behind one scan register.
+type acell struct {
+	q        string // the DFF
+	data     string // functional data input (AND's first pin)
+	sin      string // serial input (NOR's first pin)
+	tb1, tb2 string // control pins as wired
+	problems []string
+}
+
+// traceACell walks q's fanin cone one level deep expecting the A_CELL shape.
+func traceACell(c *netlist.Circuit, q string) acell {
+	a := acell{q: q}
+	bad := func(format string, args ...any) acell {
+		a.problems = append(a.problems, fmt.Sprintf(format, args...))
+		return a
+	}
+	dff := c.Gate(q)
+	if dff == nil {
+		return bad("scan cell %q does not exist", q)
+	}
+	if dff.Type != netlist.DFF {
+		return bad("scan cell %q is a %s, not a DFF", q, dff.Type)
+	}
+	x := c.Gate(dff.Fanin[0])
+	if x == nil || x.Type != netlist.Xor || len(x.Fanin) != 2 {
+		return bad("scan cell %q is not fed by a 2-input XOR", q)
+	}
+	var and, nor *netlist.Gate
+	for _, f := range x.Fanin {
+		switch g := c.Gate(f); {
+		case g == nil:
+		case g.Type == netlist.And && len(g.Fanin) == 2:
+			and = g
+		case g.Type == netlist.Nor && len(g.Fanin) == 2:
+			nor = g
+		}
+	}
+	if and == nil || nor == nil {
+		return bad("scan cell %q XOR does not combine a 2-input AND and a 2-input NOR", q)
+	}
+	a.data, a.tb1 = and.Fanin[0], and.Fanin[1]
+	a.sin, a.tb2 = nor.Fanin[0], nor.Fanin[1]
+	return a
+}
+
+func bistLoc(ctx *Context, object string) Loc {
+	return Loc{File: ctx.BIST.Circuit.Name, Object: object}
+}
+
+func checkScanChain(ctx *Context) []Diagnostic {
+	b := ctx.BIST
+	var out []Diagnostic
+	if len(b.ScanOrder) == 0 {
+		return []Diagnostic{{
+			Loc:     bistLoc(ctx, ""),
+			Message: "the design has no scan cells: nothing links the CBITs for preset and read-out",
+		}}
+	}
+	seen := map[string]bool{}
+	expectSin := b.ScanIn
+	for i, q := range b.ScanOrder {
+		if seen[q] {
+			out = append(out, Diagnostic{
+				Loc:     bistLoc(ctx, q),
+				Message: fmt.Sprintf("scan cell %q appears twice in the chain order", q),
+			})
+			continue
+		}
+		seen[q] = true
+		a := traceACell(b.Circuit, q)
+		if len(a.problems) > 0 {
+			// BT005 reports the structural break; here note only the gap.
+			out = append(out, Diagnostic{
+				Loc:     bistLoc(ctx, q),
+				Message: fmt.Sprintf("chain position %d (%q) cannot be traced: %s", i, q, a.problems[0]),
+			})
+			expectSin = q
+			continue
+		}
+		if a.sin != expectSin {
+			out = append(out, Diagnostic{
+				Loc:        bistLoc(ctx, q),
+				Message:    fmt.Sprintf("scan cell %q (position %d) reads serial input %q, want %q: the chain is disconnected", q, i, a.sin, expectSin),
+				Suggestion: "re-emit the chain; shifted data would skip or scramble cells",
+			})
+		}
+		expectSin = q
+	}
+	// The tail must be observed by SCANOUT.
+	tail := b.ScanOrder[len(b.ScanOrder)-1]
+	obs := b.Circuit.Gate(b.ScanOut)
+	switch {
+	case obs == nil:
+		out = append(out, Diagnostic{
+			Loc:     bistLoc(ctx, b.ScanOut),
+			Message: fmt.Sprintf("scan-out signal %q does not exist", b.ScanOut),
+		})
+	case len(obs.Fanin) != 1 || obs.Fanin[0] != tail:
+		out = append(out, Diagnostic{
+			Loc:     bistLoc(ctx, b.ScanOut),
+			Message: fmt.Sprintf("%q observes %v, not the chain tail %q", b.ScanOut, obs.Fanin, tail),
+		})
+	}
+	return truncate(out)
+}
+
+func checkModeWiring(ctx *Context) []Diagnostic {
+	b := ctx.BIST
+	var out []Diagnostic
+	for _, q := range b.ScanOrder {
+		a := traceACell(b.Circuit, q)
+		if len(a.problems) > 0 {
+			continue // BT005's finding
+		}
+		if a.tb1 != b.TB1 {
+			out = append(out, Diagnostic{
+				Loc:     bistLoc(ctx, q),
+				Message: fmt.Sprintf("scan cell %q AND reads %q where the TB1 mode control belongs", q, a.tb1),
+			})
+		}
+		if a.tb2 != b.TB2 {
+			out = append(out, Diagnostic{
+				Loc:     bistLoc(ctx, q),
+				Message: fmt.Sprintf("scan cell %q NOR reads %q where the TB2 mode control belongs", q, a.tb2),
+			})
+		}
+	}
+	// Every bypass MUX of a multiplexed cell must select on TMODE between
+	// the functional data and the test register (Figure 3(c)).
+	inChain := map[string]bool{}
+	for _, q := range b.ScanOrder {
+		inChain[q] = true
+	}
+	for _, g := range b.Circuit.Gates {
+		if g.Type != netlist.Mux || !isTestMux(g.Name) {
+			continue
+		}
+		if g.Fanin[0] != b.TMode {
+			out = append(out, Diagnostic{
+				Loc:        bistLoc(ctx, g.Name),
+				Message:    fmt.Sprintf("bypass MUX %q selects on %q, not the TMODE control", g.Name, g.Fanin[0]),
+				Suggestion: "in normal mode the added test register must be invisible",
+			})
+		}
+		if !inChain[g.Fanin[2]] {
+			out = append(out, Diagnostic{
+				Loc:     bistLoc(ctx, g.Name),
+				Message: fmt.Sprintf("bypass MUX %q test branch reads %q, which is not a scan-chain register", g.Name, g.Fanin[2]),
+			})
+		}
+	}
+	return truncate(out)
+}
+
+// isTestMux matches the emitter's bypass-MUX naming (base + "_tm").
+func isTestMux(name string) bool {
+	n := len(name)
+	return n > 3 && name[n-3:] == "_tm"
+}
+
+func checkSignatureReach(ctx *Context) []Diagnostic {
+	b := ctx.BIST
+	c := b.Circuit
+	if err := c.Validate(); err != nil {
+		return []Diagnostic{{
+			Loc:     bistLoc(ctx, ""),
+			Message: fmt.Sprintf("emitted netlist does not validate: %v", err),
+		}}
+	}
+	// Reverse BFS from the SCANOUT observation point over fanin edges;
+	// every scan register must be in the cone.
+	reach := map[string]bool{}
+	stack := []string{b.ScanOut}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[s] {
+			continue
+		}
+		reach[s] = true
+		if g := c.Gate(s); g != nil {
+			stack = append(stack, g.Fanin...)
+		}
+	}
+	var out []Diagnostic
+	for _, q := range b.ScanOrder {
+		if !reach[q] {
+			out = append(out, Diagnostic{
+				Loc:        bistLoc(ctx, q),
+				Message:    fmt.Sprintf("signature register %q cannot reach %q: its captured responses are unobservable", q, b.ScanOut),
+				Suggestion: "reconnect the scan chain so read-out passes through every cell",
+			})
+		}
+	}
+	return truncate(out)
+}
+
+func checkTestControls(ctx *Context) []Diagnostic {
+	b := ctx.BIST
+	c := b.Circuit
+	var out []Diagnostic
+	for _, ctrl := range []string{b.TB1, b.TB2, b.TMode, b.ScanIn} {
+		if ctrl == "" || !c.IsInput(ctrl) {
+			out = append(out, Diagnostic{
+				Loc:     bistLoc(ctx, ctrl),
+				Message: fmt.Sprintf("test control %q is not a primary input of the emitted netlist", ctrl),
+			})
+		}
+	}
+	found := false
+	for _, o := range c.Outputs {
+		if o == b.ScanOut {
+			found = true
+			break
+		}
+	}
+	if !found {
+		out = append(out, Diagnostic{
+			Loc:     bistLoc(ctx, b.ScanOut),
+			Message: fmt.Sprintf("scan-out %q is not a primary output: signatures cannot be read", b.ScanOut),
+		})
+	}
+	return out
+}
+
+func checkACellStructure(ctx *Context) []Diagnostic {
+	b := ctx.BIST
+	var out []Diagnostic
+	for _, q := range b.ScanOrder {
+		a := traceACell(b.Circuit, q)
+		for _, p := range a.problems {
+			out = append(out, Diagnostic{
+				Loc:        bistLoc(ctx, q),
+				Message:    p,
+				Suggestion: "an A_CELL is DFF(XOR(AND(data, TB1), NOR(sin, TB2))) per Figure 3(a)",
+			})
+		}
+	}
+	return truncate(out)
+}

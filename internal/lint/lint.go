@@ -1,0 +1,365 @@
+// Package lint is a rule-based static analyzer for the Merced BIST flow.
+// It checks three artifact layers for design-rule violations before they
+// can corrupt downstream stages: the input netlist (undriven and
+// multiply-driven nets, combinational cycles, arity and fan-in problems),
+// the partition/retiming result (the l_k input bound of Eq. (4)-(5), the
+// Eq. (6) SCC cut budget, retiming legality per Corollary 3), and the
+// emitted self-testable netlist (scan-chain connectivity, A_CELL mode
+// wiring, signature-register reachability).
+//
+// Rules are table-registered with a stable ID, a severity and a doc string,
+// so `merced -lint -rules` prints a self-documenting catalog and tests can
+// assert exact RuleIDs. Checks never stop at the first finding: every rule
+// reports everything it sees, and the caller decides what severity gates
+// the build.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/retime"
+)
+
+// Severity ranks a diagnostic. The zero value is Info.
+type Severity int
+
+const (
+	// Info is advisory only.
+	Info Severity = iota
+	// Warning flags a suspicious construct that does not invalidate the
+	// flow's results.
+	Warning
+	// Error flags a violation that makes downstream results meaningless.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// ParseSeverity converts a threshold flag value ("info", "warning",
+// "error") to a Severity.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info":
+		return Info, nil
+	case "warning", "warn":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("lint: unknown severity %q (want info, warning or error)", s)
+}
+
+// Loc pins a diagnostic to an artifact location. Line is 1-based and zero
+// when the artifact has no source text (API-built circuits, partitions).
+type Loc struct {
+	File   string `json:"file,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Object string `json:"object,omitempty"` // signal, cluster or net name
+}
+
+func (l Loc) String() string {
+	var sb strings.Builder
+	if l.File != "" {
+		sb.WriteString(l.File)
+		if l.Line > 0 {
+			fmt.Fprintf(&sb, ":%d", l.Line)
+		}
+	}
+	if l.Object != "" {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "(%s)", l.Object)
+	}
+	return sb.String()
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	RuleID     string   `json:"rule"`
+	Severity   Severity `json:"severity"`
+	Loc        Loc      `json:"loc"`
+	Message    string   `json:"message"`
+	Suggestion string   `json:"suggestion,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	loc := d.Loc.String()
+	if loc != "" {
+		loc += ": "
+	}
+	s := fmt.Sprintf("%s%s: %s [%s]", loc, d.Severity, d.Message, d.RuleID)
+	if d.Suggestion != "" {
+		s += "\n\t" + d.Suggestion
+	}
+	return s
+}
+
+// Layer names the artifact a rule inspects.
+type Layer int
+
+const (
+	// LayerNetlist rules need Context.Stmts (and use Circuit when present).
+	LayerNetlist Layer = iota
+	// LayerPartition rules need Context.Partition (and Retiming when the
+	// solver ran).
+	LayerPartition
+	// LayerBIST rules need Context.BIST.
+	LayerBIST
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerNetlist:
+		return "netlist"
+	case LayerPartition:
+		return "partition"
+	case LayerBIST:
+		return "bist"
+	}
+	return fmt.Sprintf("Layer(%d)", int(l))
+}
+
+// Rule is one registered design-rule check.
+type Rule struct {
+	// ID is the stable identifier tests and suppressions key on
+	// (NLxxx netlist, PTxxx partition/retiming, BTxxx emitted BIST).
+	ID string
+	// Title is a short kebab-case name for catalog listings.
+	Title string
+	// Severity of every diagnostic the rule emits.
+	Severity Severity
+	// Layer decides which artifacts must be present for the rule to run.
+	Layer Layer
+	// Doc is a one-paragraph description with paper references.
+	Doc string
+	// Check inspects the context and returns findings. It must tolerate
+	// partially built artifacts within its layer.
+	Check func(*Context) []Diagnostic
+}
+
+var registry = map[string]Rule{}
+
+// Register adds a rule to the global table; duplicate IDs panic (rules are
+// registered from init functions, so a duplicate is a programming error).
+func Register(r Rule) {
+	if r.ID == "" || r.Check == nil {
+		panic("lint: rule needs an ID and a Check")
+	}
+	if _, dup := registry[r.ID]; dup {
+		panic("lint: duplicate rule " + r.ID)
+	}
+	registry[r.ID] = r
+}
+
+// Rules returns the full catalog sorted by ID.
+func Rules() []Rule {
+	out := make([]Rule, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RuleByID looks a rule up.
+func RuleByID(id string) (Rule, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// BISTArtifact is the emitted self-testable netlist plus the metadata the
+// BIST-layer rules need. It mirrors emit.Info without importing
+// internal/emit (which imports internal/core, which imports this package).
+type BISTArtifact struct {
+	Circuit *netlist.Circuit
+	// ScanOrder lists scan-cell register names, scan-in side first.
+	ScanOrder []string
+	// Control signal names (emit.CtrlTB1 etc.).
+	TB1, TB2, TMode, ScanIn, ScanOut string
+}
+
+// Context carries every artifact the rules may inspect. Only Stmts is
+// required; rules whose layer's artifacts are missing are skipped.
+type Context struct {
+	// File is the source path used in locations ("" for in-memory input).
+	File string
+	// Stmts is the scanned statement list (netlist.ScanBench or
+	// Circuit.Stmts).
+	Stmts []netlist.Stmt
+	// Circuit is the built netlist when construction succeeded.
+	Circuit *netlist.Circuit
+	// Graph/SCC are the compiled circuit graph artifacts.
+	Graph *graph.G
+	SCC   *graph.SCCInfo
+	// Partition is the Make_Group/Assign_CBIT result.
+	Partition *partition.Result
+	// Retiming and CombGraph are the difference-constraint solution.
+	Retiming  *retime.Solution
+	CombGraph *retime.CombGraph
+	// LK and Beta echo the compilation options (Eq. (5)-(6)).
+	LK, Beta int
+	// BIST is the emitted test hardware, when built.
+	BIST *BISTArtifact
+}
+
+// ready reports whether the context has the artifacts a layer needs.
+func (ctx *Context) ready(l Layer) bool {
+	switch l {
+	case LayerNetlist:
+		return len(ctx.Stmts) > 0 || ctx.Circuit != nil
+	case LayerPartition:
+		return ctx.Partition != nil && ctx.Graph != nil && ctx.SCC != nil
+	case LayerBIST:
+		return ctx.BIST != nil && ctx.BIST.Circuit != nil
+	}
+	return false
+}
+
+// NetlistContext builds a context for statement-level linting of one file.
+func NetlistContext(file string, stmts []netlist.Stmt) *Context {
+	return &Context{File: file, Stmts: stmts}
+}
+
+// CircuitContext builds a context from an already-built circuit.
+func CircuitContext(c *netlist.Circuit) *Context {
+	return &Context{File: c.Name, Stmts: c.Stmts(), Circuit: c}
+}
+
+// Run executes every registered rule whose layer is ready and returns the
+// findings sorted by severity (errors first), then location, then rule ID.
+func Run(ctx *Context) []Diagnostic {
+	if ctx.Circuit != nil && len(ctx.Stmts) == 0 {
+		ctx.Stmts = ctx.Circuit.Stmts()
+	}
+	var diags []Diagnostic
+	for _, r := range Rules() {
+		if !ctx.ready(r.Layer) {
+			continue
+		}
+		for _, d := range r.Check(ctx) {
+			if d.RuleID == "" {
+				d.RuleID = r.ID
+			}
+			if d.Severity == Info && r.Severity != Info {
+				d.Severity = r.Severity
+			}
+			diags = append(diags, d)
+		}
+	}
+	Sort(diags)
+	return diags
+}
+
+// RunLayer executes only the rules of one layer.
+func RunLayer(ctx *Context, layer Layer) []Diagnostic {
+	if ctx.Circuit != nil && len(ctx.Stmts) == 0 {
+		ctx.Stmts = ctx.Circuit.Stmts()
+	}
+	var diags []Diagnostic
+	for _, r := range Rules() {
+		if r.Layer != layer || !ctx.ready(r.Layer) {
+			continue
+		}
+		for _, d := range r.Check(ctx) {
+			if d.RuleID == "" {
+				d.RuleID = r.ID
+			}
+			if d.Severity == Info && r.Severity != Info {
+				d.Severity = r.Severity
+			}
+			diags = append(diags, d)
+		}
+	}
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics errors-first, then by file/line/object/rule.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Loc.File != b.Loc.File {
+			return a.Loc.File < b.Loc.File
+		}
+		if a.Loc.Line != b.Loc.Line {
+			return a.Loc.Line < b.Loc.Line
+		}
+		if a.Loc.Object != b.Loc.Object {
+			return a.Loc.Object < b.Loc.Object
+		}
+		return a.RuleID < b.RuleID
+	})
+}
+
+// Count returns how many diagnostics are at exactly the given severity.
+func Count(diags []Diagnostic, s Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Max returns the highest severity present, and false for an empty list.
+func Max(diags []Diagnostic) (Severity, bool) {
+	if len(diags) == 0 {
+		return Info, false
+	}
+	m := diags[0].Severity
+	for _, d := range diags[1:] {
+		if d.Severity > m {
+			m = d.Severity
+		}
+	}
+	return m, true
+}
+
+// HasAtLeast reports whether any diagnostic reaches the threshold.
+func HasAtLeast(diags []Diagnostic, threshold Severity) bool {
+	for _, d := range diags {
+		if d.Severity >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleIDs returns the sorted distinct rule IDs present in the findings.
+func RuleIDs(diags []Diagnostic) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range diags {
+		if !seen[d.RuleID] {
+			seen[d.RuleID] = true
+			out = append(out, d.RuleID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseSeverity(t *testing.T) {
+	for in, want := range map[string]Severity{
+		"info": Info, "warning": Warning, "warn": Warning,
+		"error": Error, "ERROR": Error,
+	} {
+		got, err := ParseSeverity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) should fail")
+	}
+}
+
+func TestSeverityJSON(t *testing.T) {
+	b, err := json.Marshal(Diagnostic{RuleID: "NL001", Severity: Warning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"severity":"warning"`) {
+		t.Fatalf("severity not lowercased: %s", b)
+	}
+}
+
+func TestSortOrdersErrorsFirst(t *testing.T) {
+	diags := []Diagnostic{
+		{RuleID: "NL009", Severity: Warning, Loc: Loc{Line: 1}},
+		{RuleID: "NL003", Severity: Error, Loc: Loc{Line: 9}},
+		{RuleID: "NL001", Severity: Error, Loc: Loc{Line: 2}},
+	}
+	Sort(diags)
+	got := []string{diags[0].RuleID, diags[1].RuleID, diags[2].RuleID}
+	want := []string{"NL001", "NL003", "NL009"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTruncateCapsFloods(t *testing.T) {
+	flood := make([]Diagnostic, maxPerRule+25)
+	for i := range flood {
+		flood[i] = Diagnostic{RuleID: "PT002", Severity: Error}
+	}
+	kept := truncate(flood)
+	if len(kept) != maxPerRule+1 {
+		t.Fatalf("truncate kept %d, want %d", len(kept), maxPerRule+1)
+	}
+	last := kept[len(kept)-1]
+	if !strings.Contains(last.Message, "25 further findings") {
+		t.Fatalf("missing suppression note: %q", last.Message)
+	}
+}
+
+func TestRegistryInvariants(t *testing.T) {
+	rules := Rules()
+	if len(rules) < 23 {
+		t.Fatalf("%d rules registered, want >= 23", len(rules))
+	}
+	for _, r := range rules {
+		if r.Doc == "" || r.Title == "" {
+			t.Errorf("rule %s lacks a title or doc string", r.ID)
+		}
+		switch {
+		case strings.HasPrefix(r.ID, "NL"):
+			if r.Layer != LayerNetlist {
+				t.Errorf("rule %s: NL prefix but layer %v", r.ID, r.Layer)
+			}
+		case strings.HasPrefix(r.ID, "PT"):
+			if r.Layer != LayerPartition {
+				t.Errorf("rule %s: PT prefix but layer %v", r.ID, r.Layer)
+			}
+		case strings.HasPrefix(r.ID, "BT"):
+			if r.Layer != LayerBIST {
+				t.Errorf("rule %s: BT prefix but layer %v", r.ID, r.Layer)
+			}
+		default:
+			t.Errorf("rule %s: unknown ID prefix", r.ID)
+		}
+	}
+	if _, ok := RuleByID("NL001"); !ok {
+		t.Error("RuleByID(NL001) missing")
+	}
+}
+
+func TestHasAtLeastAndMax(t *testing.T) {
+	warnOnly := []Diagnostic{{Severity: Warning}}
+	if HasAtLeast(warnOnly, Error) {
+		t.Error("warning should not reach the error threshold")
+	}
+	if !HasAtLeast(warnOnly, Warning) {
+		t.Error("warning should reach the warning threshold")
+	}
+	if m, ok := Max(warnOnly); !ok || m != Warning {
+		t.Errorf("Max = %v, %v", m, ok)
+	}
+	if _, ok := Max(nil); ok {
+		t.Error("Max(nil) should report absence")
+	}
+}

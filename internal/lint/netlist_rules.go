@@ -1,0 +1,459 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// FaninOutlierLimit is the largest gate fan-in the paper's linear CMOS area
+// model (section 4, +1 unit per input beyond two) is calibrated for; wider
+// gates make the Table 9/12 area columns extrapolations rather than
+// estimates, and a single cell with fan-in > l_k can never satisfy the
+// Eq. (5) input constraint on its own.
+const FaninOutlierLimit = 16
+
+func init() {
+	Register(Rule{
+		ID: "NL001", Title: "parse-error", Severity: Error, Layer: LayerNetlist,
+		Doc:   "A line the .bench grammar cannot scan: unknown gate type, malformed expression, or empty name. Downstream stages never see the statement, so the circuit silently loses logic.",
+		Check: checkParseErrors,
+	})
+	Register(Rule{
+		ID: "NL002", Title: "multiple-drivers", Severity: Error, Layer: LayerNetlist,
+		Doc:   "A signal driven by more than one gate, or by a gate and an INPUT declaration. The graph of section 2.1 assumes every net has exactly one source.",
+		Check: checkMultipleDrivers,
+	})
+	Register(Rule{
+		ID: "NL003", Title: "undriven-net", Severity: Error, Layer: LayerNetlist,
+		Doc:   "A fanin or OUTPUT references a signal no INPUT or gate drives. Simulation and the multicommodity flow of Table 3 both need a source per net.",
+		Check: checkUndriven,
+	})
+	Register(Rule{
+		ID: "NL004", Title: "duplicate-input", Severity: Error, Layer: LayerNetlist,
+		Doc:   "The same name appears in two INPUT declarations, which would double-count primary inputs in the Table 9 statistics.",
+		Check: checkDuplicateInputs,
+	})
+	Register(Rule{
+		ID: "NL005", Title: "floating-output", Severity: Warning, Layer: LayerNetlist,
+		Doc:   "A gate output that nothing reads and no OUTPUT observes. Dead logic inflates the area estimate and the A_CELL count without affecting any test response.",
+		Check: checkFloatingOutputs,
+	})
+	Register(Rule{
+		ID: "NL006", Title: "comb-cycle", Severity: Error, Layer: LayerNetlist,
+		Doc:   "A combinational cycle not broken by a DFF. Such loops make the circuit non-synchronous: the retiming graph of section 2.2 would contain a register-free cycle that no legal retiming (Corollary 3) can fix.",
+		Check: checkCombCycles,
+	})
+	Register(Rule{
+		ID: "NL007", Title: "bad-arity", Severity: Error, Layer: LayerNetlist,
+		Doc:   "A gate with an illegal fanin count: NOT/BUF/DFF take exactly 1, MUX exactly 3, other gates at least 2. Zero-fanin non-input gates have no defined value.",
+		Check: checkArity,
+	})
+	Register(Rule{
+		ID: "NL008", Title: "fanin-outlier", Severity: Warning, Layer: LayerNetlist,
+		Doc:   fmt.Sprintf("A gate with more than %d inputs. The linear area model (section 4) is uncalibrated that wide, and a cell with fanin > l_k can never meet the Eq. (5) input constraint.", FaninOutlierLimit),
+		Check: checkFaninOutliers,
+	})
+	Register(Rule{
+		ID: "NL009", Title: "unused-input", Severity: Warning, Layer: LayerNetlist,
+		Doc:   "A declared INPUT no gate or OUTPUT reads. It still costs a multiplexed boundary A_CELL in the emitted test hardware (Figure 3(c)) while testing nothing.",
+		Check: checkUnusedInputs,
+	})
+	Register(Rule{
+		ID: "NL010", Title: "duplicate-output", Severity: Warning, Layer: LayerNetlist,
+		Doc:   "The same signal declared OUTPUT more than once; the extra declaration adds a redundant PO pseudo-node to the circuit graph.",
+		Check: checkDuplicateOutputs,
+	})
+	Register(Rule{
+		ID: "NL011", Title: "duplicate-fanin", Severity: Warning, Layer: LayerNetlist,
+		Doc:   "A gate reading the same signal on several pins. For XOR/XNOR the duplicated pins cancel; for other gates they are redundant loading that skews the fanout statistics Saturate_Network (Table 3) randomizes over.",
+		Check: checkDuplicateFanin,
+	})
+}
+
+// netView indexes the statement list for the netlist rules.
+type netView struct {
+	inputs    map[string]netlist.Stmt   // first INPUT per name
+	driver    map[string]netlist.Stmt   // first gate per driven signal
+	gates     []netlist.Stmt            // all gate stmts in order
+	outputs   []netlist.Stmt            // all OUTPUT stmts in order
+	readers   map[string][]netlist.Stmt // signal -> gate stmts reading it
+	outputSet map[string]int            // signal -> OUTPUT declaration count
+}
+
+func view(ctx *Context) *netView {
+	v := &netView{
+		inputs:    map[string]netlist.Stmt{},
+		driver:    map[string]netlist.Stmt{},
+		readers:   map[string][]netlist.Stmt{},
+		outputSet: map[string]int{},
+	}
+	for _, st := range ctx.Stmts {
+		switch st.Kind {
+		case netlist.StmtInput:
+			if _, dup := v.inputs[st.Name]; !dup {
+				v.inputs[st.Name] = st
+			}
+		case netlist.StmtOutput:
+			v.outputs = append(v.outputs, st)
+			v.outputSet[st.Name]++
+		case netlist.StmtGate:
+			v.gates = append(v.gates, st)
+			if _, dup := v.driver[st.Name]; !dup {
+				v.driver[st.Name] = st
+			}
+			for _, f := range st.Fanin {
+				v.readers[f] = append(v.readers[f], st)
+			}
+		}
+	}
+	return v
+}
+
+func (ctx *Context) at(st netlist.Stmt, object string) Loc {
+	return Loc{File: ctx.File, Line: st.Line, Object: object}
+}
+
+func checkParseErrors(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, st := range ctx.Stmts {
+		if st.Kind != netlist.StmtBad {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Loc:        ctx.at(st, ""),
+			Message:    st.Err,
+			Suggestion: "fix the statement; the cell library is DFF, AND, NAND, OR, NOR, XOR, XNOR, NOT, BUFF and MUX",
+		})
+	}
+	return out
+}
+
+func checkMultipleDrivers(ctx *Context) []Diagnostic {
+	v := view(ctx)
+	var out []Diagnostic
+	count := map[string]int{}
+	for _, st := range v.gates {
+		count[st.Name]++
+		if count[st.Name] > 1 {
+			first := v.driver[st.Name]
+			out = append(out, Diagnostic{
+				Loc:        ctx.at(st, st.Name),
+				Message:    fmt.Sprintf("signal %q is driven by more than one gate (first driver at line %d)", st.Name, first.Line),
+				Suggestion: "rename one of the gates; every net needs exactly one source",
+			})
+			continue
+		}
+		if in, isInput := v.inputs[st.Name]; isInput {
+			out = append(out, Diagnostic{
+				Loc:        ctx.at(st, st.Name),
+				Message:    fmt.Sprintf("gate %q collides with the primary input declared at line %d", st.Name, in.Line),
+				Suggestion: "rename the gate or drop the INPUT declaration",
+			})
+		}
+	}
+	return out
+}
+
+func checkUndriven(ctx *Context) []Diagnostic {
+	v := view(ctx)
+	var out []Diagnostic
+	driven := func(name string) bool {
+		if _, ok := v.inputs[name]; ok {
+			return true
+		}
+		_, ok := v.driver[name]
+		return ok
+	}
+	for _, st := range v.gates {
+		for _, f := range st.Fanin {
+			if !driven(f) {
+				out = append(out, Diagnostic{
+					Loc:        ctx.at(st, f),
+					Message:    fmt.Sprintf("%s %q reads undriven signal %q", st.Type, st.Name, f),
+					Suggestion: "declare the signal as an INPUT or add a driving gate",
+				})
+			}
+		}
+	}
+	for _, st := range v.outputs {
+		if !driven(st.Name) {
+			out = append(out, Diagnostic{
+				Loc:        ctx.at(st, st.Name),
+				Message:    fmt.Sprintf("output %q is undriven", st.Name),
+				Suggestion: "declare the signal as an INPUT or add a driving gate",
+			})
+		}
+	}
+	return out
+}
+
+func checkDuplicateInputs(ctx *Context) []Diagnostic {
+	v := view(ctx)
+	var out []Diagnostic
+	for _, st := range ctx.Stmts {
+		if st.Kind != netlist.StmtInput {
+			continue
+		}
+		if first := v.inputs[st.Name]; first.Line != st.Line {
+			out = append(out, Diagnostic{
+				Loc:     ctx.at(st, st.Name),
+				Message: fmt.Sprintf("input %q already declared at line %d", st.Name, first.Line),
+			})
+		}
+	}
+	return out
+}
+
+func checkFloatingOutputs(ctx *Context) []Diagnostic {
+	v := view(ctx)
+	var out []Diagnostic
+	for _, st := range v.gates {
+		if len(v.readers[st.Name]) == 0 && v.outputSet[st.Name] == 0 {
+			out = append(out, Diagnostic{
+				Loc:        ctx.at(st, st.Name),
+				Message:    fmt.Sprintf("%s %q drives a floating net: no gate reads it and it is not an OUTPUT", st.Type, st.Name),
+				Suggestion: "declare OUTPUT(" + st.Name + ") or remove the dead gate",
+			})
+		}
+	}
+	return out
+}
+
+// checkCombCycles finds strongly connected components of the purely
+// combinational signal graph (DFFs removed); any nontrivial component or
+// self-loop is an unbreakable cycle.
+func checkCombCycles(ctx *Context) []Diagnostic {
+	v := view(ctx)
+	// Index comb gates.
+	idx := map[string]int{}
+	var names []string
+	var stmts []netlist.Stmt
+	for _, st := range v.gates {
+		if st.Type == netlist.DFF {
+			continue
+		}
+		if _, dup := idx[st.Name]; dup {
+			continue // NL002's problem
+		}
+		idx[st.Name] = len(names)
+		names = append(names, st.Name)
+		stmts = append(stmts, st)
+	}
+	n := len(names)
+	adj := make([][]int, n)
+	for i, st := range stmts {
+		for _, f := range st.Fanin {
+			if j, ok := idx[f]; ok {
+				adj[j] = append(adj[j], i) // driver -> reader
+			}
+		}
+	}
+
+	// Iterative Tarjan.
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	next := 0
+	type frame struct{ v, ai int }
+	var frames []frame
+	push := func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		frames = append(frames, frame{v: v})
+	}
+	var comps [][]int
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.ai < len(adj[f.v]) {
+				w := adj[f.v][f.ai]
+				f.ai++
+				if index[w] == unvisited {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			vtx := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[vtx] < low[p.v] {
+					low[p.v] = low[vtx]
+				}
+			}
+			if low[vtx] == index[vtx] {
+				var ms []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					ms = append(ms, w)
+					if w == vtx {
+						break
+					}
+				}
+				comps = append(comps, ms)
+			}
+		}
+	}
+
+	selfLoop := make([]bool, n)
+	for i, st := range stmts {
+		for _, f := range st.Fanin {
+			if j, ok := idx[f]; ok && j == i {
+				selfLoop[i] = true
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, ms := range comps {
+		if len(ms) == 1 && !selfLoop[ms[0]] {
+			continue
+		}
+		head := stmts[ms[0]]
+		for _, m := range ms {
+			if stmts[m].Line > 0 && (head.Line == 0 || stmts[m].Line < head.Line) {
+				head = stmts[m]
+			}
+		}
+		members := make([]string, len(ms))
+		for i, m := range ms {
+			members[i] = names[m]
+		}
+		out = append(out, Diagnostic{
+			Loc:        ctx.at(head, head.Name),
+			Message:    fmt.Sprintf("combinational cycle through %d gate(s) with no DFF: %v", len(ms), members),
+			Suggestion: "break the loop with a DFF so retiming (Corollary 3) stays feasible",
+		})
+	}
+	return out
+}
+
+func checkArity(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, st := range ctx.Stmts {
+		if st.Kind != netlist.StmtGate {
+			continue
+		}
+		var want string
+		switch st.Type {
+		case netlist.Not, netlist.Buf, netlist.DFF:
+			if len(st.Fanin) != 1 {
+				want = "exactly 1 input"
+			}
+		case netlist.Mux:
+			if len(st.Fanin) != 3 {
+				want = "exactly 3 inputs (sel, d0, d1)"
+			}
+		default:
+			if len(st.Fanin) < 2 {
+				want = "at least 2 inputs"
+			}
+		}
+		if want != "" {
+			out = append(out, Diagnostic{
+				Loc:     ctx.at(st, st.Name),
+				Message: fmt.Sprintf("%s %q has %d input(s), needs %s", st.Type, st.Name, len(st.Fanin), want),
+			})
+		}
+	}
+	return out
+}
+
+func checkFaninOutliers(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, st := range ctx.Stmts {
+		if st.Kind != netlist.StmtGate || st.Type == netlist.DFF {
+			continue
+		}
+		if len(st.Fanin) > FaninOutlierLimit {
+			out = append(out, Diagnostic{
+				Loc:        ctx.at(st, st.Name),
+				Message:    fmt.Sprintf("%s %q has fan-in %d, beyond the area model's calibration (> %d)", st.Type, st.Name, len(st.Fanin), FaninOutlierLimit),
+				Suggestion: "decompose the gate into a tree of narrower gates",
+			})
+		}
+	}
+	return out
+}
+
+func checkUnusedInputs(ctx *Context) []Diagnostic {
+	v := view(ctx)
+	var out []Diagnostic
+	for _, st := range ctx.Stmts {
+		if st.Kind != netlist.StmtInput {
+			continue
+		}
+		if first := v.inputs[st.Name]; first.Line != st.Line {
+			continue // duplicate, NL004's problem
+		}
+		if len(v.readers[st.Name]) == 0 && v.outputSet[st.Name] == 0 {
+			out = append(out, Diagnostic{
+				Loc:        ctx.at(st, st.Name),
+				Message:    fmt.Sprintf("input %q is never read", st.Name),
+				Suggestion: "drop the INPUT or wire it; it would still cost a boundary A_CELL",
+			})
+		}
+	}
+	return out
+}
+
+func checkDuplicateOutputs(ctx *Context) []Diagnostic {
+	v := view(ctx)
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, st := range v.outputs {
+		if v.outputSet[st.Name] > 1 && seen[st.Name] {
+			out = append(out, Diagnostic{
+				Loc:     ctx.at(st, st.Name),
+				Message: fmt.Sprintf("output %q declared %d times", st.Name, v.outputSet[st.Name]),
+			})
+		}
+		seen[st.Name] = true
+	}
+	return out
+}
+
+func checkDuplicateFanin(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, st := range ctx.Stmts {
+		if st.Kind != netlist.StmtGate {
+			continue
+		}
+		counts := map[string]int{}
+		for _, f := range st.Fanin {
+			counts[f]++
+		}
+		for _, f := range st.Fanin {
+			if counts[f] > 1 {
+				out = append(out, Diagnostic{
+					Loc:     ctx.at(st, st.Name),
+					Message: fmt.Sprintf("%s %q reads %q on %d pins", st.Type, st.Name, f, counts[f]),
+				})
+				counts[f] = 0 // report once per signal
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package lint_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/lint"
+	"repro/internal/netlist"
+)
+
+// lintText runs the netlist layer over raw .bench text, scanner-style (the
+// Circuit stays nil, as for a file `merced -lint` cannot fully parse).
+func lintText(text string) []lint.Diagnostic {
+	ctx := lint.NetlistContext("test.bench", netlist.ScanBenchString(text))
+	if c, err := netlist.ParseBenchString("test.bench", text); err == nil {
+		ctx.Circuit = c
+	}
+	return lint.RunLayer(ctx, lint.LayerNetlist)
+}
+
+func hasRule(diags []lint.Diagnostic, id string) bool {
+	for _, d := range diags {
+		if d.RuleID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBrokenNetlistCorpus is the table-driven corpus of hand-broken .bench
+// netlists; each entry names the exact RuleIDs it must fire.
+func TestBrokenNetlistCorpus(t *testing.T) {
+	cases := []struct {
+		name  string
+		bench string
+		want  []string
+	}{
+		{
+			"malformed-line", `
+INPUT(a)
+OUTPUT(y)
+this is not a statement
+y = NOT(a)
+`, []string{"NL001"},
+		},
+		{
+			"unknown-gate-type", `
+INPUT(a)
+OUTPUT(y)
+y = FROB(a)
+`, []string{"NL001"},
+		},
+		{
+			"multiple-drivers", `
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+y = BUF(a)
+`, []string{"NL002"},
+		},
+		{
+			"gate-shadows-input", `
+INPUT(a)
+INPUT(b)
+OUTPUT(a)
+a = NOT(b)
+`, []string{"NL002"},
+		},
+		{
+			"undriven-fanin", `
+INPUT(a)
+OUTPUT(y)
+y = AND(a, ghost)
+`, []string{"NL003"},
+		},
+		{
+			"undriven-output", `
+INPUT(a)
+OUTPUT(nowhere)
+OUTPUT(y)
+y = NOT(a)
+`, []string{"NL003"},
+		},
+		{
+			"duplicate-input", `
+INPUT(a)
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+`, []string{"NL004"},
+		},
+		{
+			"floating-gate", `
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+dead = BUF(a)
+`, []string{"NL005"},
+		},
+		{
+			"comb-cycle", `
+INPUT(a)
+OUTPUT(y)
+y = AND(a, z)
+z = NOT(y)
+`, []string{"NL006"},
+		},
+		{
+			"comb-self-loop", `
+INPUT(a)
+OUTPUT(y)
+y = AND(a, y)
+`, []string{"NL006"},
+		},
+		{
+			"bad-arity-and", `
+INPUT(a)
+OUTPUT(y)
+y = AND(a)
+`, []string{"NL007"},
+		},
+		{
+			"bad-arity-mux", `
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(s, a)
+`, []string{"NL007"},
+		},
+		{
+			"fanin-outlier", wideGate(17), []string{"NL008"},
+		},
+		{
+			"unused-input", `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NOT(a)
+`, []string{"NL009"},
+		},
+		{
+			"duplicate-output", `
+INPUT(a)
+OUTPUT(y)
+OUTPUT(y)
+y = NOT(a)
+`, []string{"NL010"},
+		},
+		{
+			"duplicate-fanin", `
+INPUT(a)
+OUTPUT(y)
+y = AND(a, a)
+`, []string{"NL011"},
+		},
+		{
+			"everything-at-once", `
+INPUT(a)
+INPUT(a)
+OUTPUT(y)
+y = AND(a, ghost)
+loop1 = OR(loop2, a)
+loop2 = NOR(loop1, a)
+dead = BUF(a)
+junk junk junk
+`, []string{"NL001", "NL003", "NL004", "NL005", "NL006"},
+		},
+	}
+
+	distinct := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := lintText(tc.bench)
+			for _, id := range tc.want {
+				if !hasRule(diags, id) {
+					t.Errorf("want rule %s, got %v", id, lint.RuleIDs(diags))
+				}
+			}
+			for _, d := range diags {
+				distinct[d.RuleID] = true
+				if d.RuleID == "" {
+					t.Errorf("diagnostic with empty RuleID: %v", d)
+				}
+			}
+		})
+	}
+	if len(distinct) < 10 {
+		t.Errorf("corpus exercises %d distinct rules, want >= 10: %v", len(distinct), distinct)
+	}
+}
+
+// wideGate builds a single AND gate with n inputs.
+func wideGate(n int) string {
+	var sb strings.Builder
+	args := make([]string, n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "INPUT(i%d)\n", i)
+		args[i] = fmt.Sprintf("i%d", i)
+	}
+	sb.WriteString("OUTPUT(y)\n")
+	fmt.Fprintf(&sb, "y = AND(%s)\n", strings.Join(args, ", "))
+	return sb.String()
+}
+
+// TestLocLinesPointAtSource checks diagnostics carry 1-based source lines.
+func TestLocLinesPointAtSource(t *testing.T) {
+	diags := lintText("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n")
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	found := false
+	for _, d := range diags {
+		if d.RuleID == "NL003" && d.Loc.Line == 3 && d.Loc.File == "test.bench" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no NL003 at test.bench:3 in %v", diags)
+	}
+}
+
+// TestCleanNetlistHasNoFindings: a well-formed sequential netlist (with a
+// DFF-broken feedback loop) must lint completely clean.
+func TestCleanNetlistHasNoFindings(t *testing.T) {
+	diags := lintText(`
+INPUT(a)
+OUTPUT(y)
+y = AND(a, q)
+q = DFF(y)
+`)
+	if len(diags) != 0 {
+		t.Fatalf("clean netlist produced %v", diags)
+	}
+}
+
+// TestSeedBenchmarksLintClean: s27 and every generated Table 9 circuit must
+// pass the netlist layer with zero errors (the ISSUE acceptance bar).
+func TestSeedBenchmarksLintClean(t *testing.T) {
+	for _, spec := range bench89.Specs {
+		if testing.Short() && spec.Area > 20000 {
+			continue
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			c, err := bench89.Load(spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := lint.RunLayer(lint.CircuitContext(c), lint.LayerNetlist)
+			if lint.HasAtLeast(diags, lint.Error) {
+				t.Fatalf("%s lints with errors: %v", spec.Name, diags)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -16,27 +17,19 @@ import (
 //	G16 = AND(G14, G11)
 //
 // Gate type names are case-insensitive; BUF and BUFF are synonyms.
+// ParseBench stops at the first malformed or semantically illegal
+// statement; ScanBench is the error-tolerant front end for tools that
+// need to see everything wrong at once.
 func ParseBench(name string, r io.Reader) (*Circuit, error) {
-	c := New(name)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		if err := parseBenchLine(c, line); err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	stmts, err := ScanBench(r)
+	if err != nil {
 		return nil, err
+	}
+	c := New(name)
+	for _, st := range stmts {
+		if err := applyStmt(c, st); err != nil {
+			return nil, fmt.Errorf("line %d: %w", st.Line, err)
+		}
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -44,49 +37,20 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	return c, nil
 }
 
-func parseBenchLine(c *Circuit, line string) error {
-	upper := strings.ToUpper(line)
-	switch {
-	case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
-		arg, err := parenArg(line)
-		if err != nil {
-			return err
-		}
-		return c.AddInput(arg)
-	case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
-		arg, err := parenArg(line)
-		if err != nil {
-			return err
-		}
-		c.AddOutput(arg)
+// applyStmt replays one scanned statement onto a circuit under construction.
+func applyStmt(c *Circuit, st Stmt) error {
+	switch st.Kind {
+	case StmtInput:
+		return c.AddInput(st.Name)
+	case StmtOutput:
+		c.AddOutput(st.Name)
 		return nil
+	case StmtGate:
+		_, err := c.AddGate(st.Name, st.Type, st.Fanin...)
+		return err
+	default:
+		return errors.New(st.Err)
 	}
-	eq := strings.IndexByte(line, '=')
-	if eq < 0 {
-		return fmt.Errorf("unrecognised line %q", line)
-	}
-	name := normalizeName(line[:eq])
-	rhs := strings.TrimSpace(line[eq+1:])
-	open := strings.IndexByte(rhs, '(')
-	close_ := strings.LastIndexByte(rhs, ')')
-	if open < 0 || close_ < open {
-		return fmt.Errorf("malformed gate expression %q", rhs)
-	}
-	tname := strings.ToUpper(strings.TrimSpace(rhs[:open]))
-	t, ok := namesToType[tname]
-	if !ok {
-		return fmt.Errorf("unknown gate type %q", tname)
-	}
-	var fanin []string
-	for _, f := range strings.Split(rhs[open+1:close_], ",") {
-		f = normalizeName(f)
-		if f == "" {
-			return fmt.Errorf("empty fanin in %q", rhs)
-		}
-		fanin = append(fanin, f)
-	}
-	_, err := c.AddGate(name, t, fanin...)
-	return err
 }
 
 func parenArg(line string) (string, error) {

@@ -1,0 +1,82 @@
+package netlist
+
+import "testing"
+
+// FuzzParse drives arbitrary text through the two .bench front ends and
+// checks their cross-consistency: the tolerant scanner must never reject
+// input or misnumber lines, and whenever the strict parser accepts, the
+// circuit must validate and round-trip through its own serialisation.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\nq = DFF(y)\n",
+		"INPUT(G0)\nOUTPUT(G17)\nG10 = DFF(G14)\nG14 = NOT(G0)\nG17 = BUF(G10)\n",
+		"INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(s, a, b)\n",
+		"y = AND(a)\n",
+		"y = FROB(a)\n",
+		"INPUT(a)\nINPUT(a)\n",
+		"OUTPUT(ghost)\n",
+		"y = AND(a, y)\n",
+		"junk\n= (\nINPUT()\nOUTPUT( )\nx =\n",
+		"INPUT(a)\r\nOUTPUT(y)\r\ny = not(a)\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		stmts := ScanBenchString(text)
+		for i, st := range stmts {
+			if st.Line < 1 {
+				t.Fatalf("stmt %d has line %d", i, st.Line)
+			}
+			switch st.Kind {
+			case StmtBad:
+				if st.Err == "" {
+					t.Fatalf("StmtBad without Err at line %d", st.Line)
+				}
+			case StmtGate:
+				if st.Name == "" || len(st.Fanin) == 0 {
+					t.Fatalf("gate stmt with empty name or fanin at line %d", st.Line)
+				}
+				for _, fn := range st.Fanin {
+					if fn == "" {
+						t.Fatalf("empty fanin name at line %d", st.Line)
+					}
+				}
+			case StmtInput, StmtOutput:
+				if st.Name == "" {
+					t.Fatalf("declaration without a name at line %d", st.Line)
+				}
+			}
+		}
+
+		c, err := ParseBenchString("fuzz", text)
+		if err != nil {
+			return
+		}
+		// Accepted input implies every scanned statement was good.
+		for _, st := range stmts {
+			if st.Kind == StmtBad {
+				t.Fatalf("parser accepted text the scanner rejects at line %d: %s", st.Line, st.Err)
+			}
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit does not validate: %v", err)
+		}
+		// Round trip: the serialisation must parse back to the same shape.
+		rt, err := ParseBenchString("rt", c.BenchString())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, c.BenchString())
+		}
+		if len(rt.Inputs) != len(c.Inputs) || len(rt.Outputs) != len(c.Outputs) || len(rt.Gates) != len(c.Gates) {
+			t.Fatalf("round trip changed shape: %v vs %v", rt.Stats(), c.Stats())
+		}
+		// The linter's netlist layer must never panic on an accepted circuit
+		// (it runs on Stmts, which must agree with the gate list).
+		if got := len(c.Stmts()); got != len(c.Inputs)+len(c.Outputs)+len(c.Gates) {
+			t.Fatalf("Stmts() returned %d entries", got)
+		}
+	})
+}

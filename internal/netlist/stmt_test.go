@@ -1,0 +1,72 @@
+package netlist
+
+import "testing"
+
+func TestScanBenchTolerant(t *testing.T) {
+	stmts := ScanBenchString(`
+# comment only
+INPUT(a)
+OUTPUT(y)
+garbage here
+y = AND(a, b)   # trailing comment
+q = FROB(a)
+b = DFF(y)
+`)
+	if len(stmts) != 6 {
+		t.Fatalf("got %d stmts, want 6: %v", len(stmts), stmts)
+	}
+	want := []struct {
+		line int
+		kind StmtKind
+		name string
+	}{
+		{3, StmtInput, "a"},
+		{4, StmtOutput, "y"},
+		{5, StmtBad, ""},
+		{6, StmtGate, "y"},
+		{7, StmtBad, ""},
+		{8, StmtGate, "b"},
+	}
+	for i, w := range want {
+		st := stmts[i]
+		if st.Line != w.line || st.Kind != w.kind || st.Name != w.name {
+			t.Errorf("stmt %d = line %d %v %q, want line %d %v %q",
+				i, st.Line, st.Kind, st.Name, w.line, w.kind, w.name)
+		}
+	}
+	if stmts[2].Err == "" || stmts[4].Err == "" {
+		t.Error("bad statements must carry an Err reason")
+	}
+	if got := stmts[3].Fanin; len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("AND fanin = %v", got)
+	}
+	if stmts[3].Type != And || stmts[3].TypeName != "AND" {
+		t.Errorf("AND type = %v %q", stmts[3].Type, stmts[3].TypeName)
+	}
+}
+
+func TestCircuitStmtsRoundTrip(t *testing.T) {
+	c, err := ParseBenchString("t", `
+INPUT(a)
+OUTPUT(y)
+y = NAND(a, q)
+q = DFF(y)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := c.Stmts()
+	if len(stmts) != 4 {
+		t.Fatalf("got %d stmts, want 4", len(stmts))
+	}
+	counts := map[StmtKind]int{}
+	for _, st := range stmts {
+		counts[st.Kind]++
+		if st.Line != 0 {
+			t.Errorf("API-built stmt has source line %d", st.Line)
+		}
+	}
+	if counts[StmtInput] != 1 || counts[StmtOutput] != 1 || counts[StmtGate] != 2 {
+		t.Fatalf("kind counts = %v", counts)
+	}
+}
