@@ -7,6 +7,7 @@
 package ppetretime
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -41,7 +42,7 @@ func BenchmarkAblationVisitPolicy(b *testing.B) {
 				cfg := flow.DefaultConfig(1)
 				cfg.Policy = pol.policy
 				cfg.MinVisit = pol.visits
-				fres, err := flow.Saturate(g, cfg)
+				fres, err := flow.Saturate(context.Background(), g, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -74,7 +75,7 @@ func BenchmarkAblationBeta(b *testing.B) {
 				opt := core.DefaultOptions(16, 1)
 				opt.Beta = beta
 				var err error
-				r, err = core.Compile(c, opt)
+				r, err = core.Compile(context.Background(), c, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -102,7 +103,7 @@ func BenchmarkAblationAssignMerge(b *testing.B) {
 				opt := core.DefaultOptions(16, 1)
 				opt.SkipAssign = skip
 				var err error
-				r, err = core.Compile(c, opt)
+				r, err = core.Compile(context.Background(), c, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -118,7 +119,7 @@ func BenchmarkAblationAssignMerge(b *testing.B) {
 // for the Table 12 covered/excess split.
 func BenchmarkAblationSolverVsSCCBound(b *testing.B) {
 	c := loadB(b, "s1423")
-	r, err := core.Compile(c, core.DefaultOptions(16, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(16, 1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func BenchmarkAblationSolverVsSCCBound(b *testing.B) {
 			cg := retime.Build(r.Graph)
 			cg.SetRequirements(cuts)
 			var err error
-			sol, err = retime.Solve(cg, cuts, pri)
+			sol, err = retime.Solve(context.Background(), cg, cuts, pri)
 			if err != nil {
 				b.Fatal(err)
 			}

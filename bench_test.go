@@ -6,6 +6,7 @@
 package ppetretime
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func loadB(b *testing.B, name string) *netlist.Circuit {
 
 func compileB(b *testing.B, name string, lk int) *core.Result {
 	b.Helper()
-	r, err := core.Compile(loadB(b, name), core.DefaultOptions(lk, 1))
+	r, err := core.Compile(context.Background(), loadB(b, name), core.DefaultOptions(lk, 1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func BenchmarkFigure5SaturateS27(b *testing.B) {
 	var res *flow.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err = flow.Saturate(g, flow.DefaultConfig(1))
+		res, err = flow.Saturate(context.Background(), g, flow.DefaultConfig(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func BenchmarkFigures67MakeGroupAssign(b *testing.B) {
 		b.Fatal(err)
 	}
 	scc := g.SCC()
-	fres, err := flow.Saturate(g, flow.DefaultConfig(1))
+	fres, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func BenchmarkSaturateNetwork(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := flow.Saturate(g, flow.DefaultConfig(int64(i))); err != nil {
+		if _, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(int64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -266,7 +267,7 @@ func BenchmarkMakeGroup(b *testing.B) {
 		b.Fatal(err)
 	}
 	scc := g.SCC()
-	fres, err := flow.Saturate(g, flow.DefaultConfig(1))
+	fres, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func BenchmarkAssignCBIT(b *testing.B) {
 		b.Fatal(err)
 	}
 	scc := g.SCC()
-	fres, err := flow.Saturate(g, flow.DefaultConfig(1))
+	fres, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func BenchmarkRetimeSolve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cg := retime.Build(r.Graph)
 		cg.SetRequirements(cuts)
-		if _, err := retime.Solve(cg, cuts, priority); err != nil {
+		if _, err := retime.Solve(context.Background(), cg, cuts, priority); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -384,7 +385,7 @@ func BenchmarkFullCompileS1423(b *testing.B) {
 	c := loadB(b, "s1423")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Compile(c, core.DefaultOptions(16, 1)); err != nil {
+		if _, err := core.Compile(context.Background(), c, core.DefaultOptions(16, 1)); err != nil {
 			b.Fatal(err)
 		}
 	}

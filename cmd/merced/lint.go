@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -56,7 +57,7 @@ func runLint(cfg lintRun, stdout, stderr io.Writer) int {
 		opt := core.DefaultOptions(cfg.lk, cfg.seed)
 		opt.Beta = cfg.beta
 		opt.SolveRetiming = !cfg.noRetime
-		res, err := core.Compile(ctx.Circuit, opt)
+		res, err := core.Compile(context.Background(), ctx.Circuit, opt)
 		if err != nil {
 			fmt.Fprintln(stderr, "merced: lint: compile for partition-layer checks failed:", err)
 			return exitOperational

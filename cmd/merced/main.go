@@ -18,12 +18,23 @@
 //	merced -lint -circuit s27 -lk 3 -json
 //	merced -lint -lint-severity warning -circuit s510
 //	merced -lint -rules
+//
+// Sweep mode batch-compiles a (circuit × l_k × beta × seed) job matrix
+// across a bounded worker pool; one command reproduces the paper's whole
+// Table 10-12 experiment. Ctrl-C cancels the sweep promptly; `-timeout`
+// bounds it; exit status is 1 when any job failed.
+//
+//	merced -sweep
+//	merced -sweep -circuits all -lks 16,24 -workers 8 -format csv
+//	merced -sweep -spec jobs.json -timeout 10m -format json -no-timing
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"repro/internal/bench89"
@@ -50,6 +61,17 @@ func main() {
 	lintRules := flag.Bool("rules", false, "with -lint: print the rule catalog and exit")
 	jsonOut := flag.Bool("json", false, "with -lint: machine-readable JSON output")
 	lintSeverity := flag.String("lint-severity", "error", "with -lint: lowest severity that makes the exit status 2 (info, warning, error)")
+	doSweep := flag.Bool("sweep", false, "batch-compile a job matrix across a worker pool instead of a single report")
+	sweepSpec := flag.String("spec", "", "with -sweep: JSON job-matrix spec file (overrides -circuits/-lks/-betas/-seeds)")
+	circuits := flag.String("circuits", "all", "with -sweep: comma-separated circuit names, .bench paths, or the aliases all/small")
+	lks := flag.String("lks", "16,24", "with -sweep: comma-separated l_k values")
+	betas := flag.String("betas", "50", "with -sweep: comma-separated beta values")
+	seeds := flag.String("seeds", "1", "with -sweep: comma-separated seeds")
+	workers := flag.Int("workers", 0, "with -sweep: worker pool size (0: NumCPU)")
+	timeout := flag.Duration("timeout", 0, "with -sweep: whole-sweep deadline (0: none)")
+	jobTimeout := flag.Duration("job-timeout", 0, "with -sweep: per-job deadline (0: none)")
+	format := flag.String("format", "text", "with -sweep: output format (text, json, csv)")
+	noTiming := flag.Bool("no-timing", false, "with -sweep: omit wall-clock fields for byte-reproducible output")
 	flag.Parse()
 
 	if *lintRules {
@@ -63,6 +85,16 @@ func main() {
 			jsonOut: *jsonOut, threshold: *lintSeverity,
 		}, os.Stdout, os.Stderr))
 	}
+	if *doSweep {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		code := runSweep(ctx, sweepRun{
+			spec: *sweepSpec, circuits: *circuits, lks: *lks, betas: *betas, seeds: *seeds,
+			workers: *workers, timeout: *timeout, jobTimeout: *jobTimeout,
+			noRetime: *noRetime, format: *format, noTiming: *noTiming,
+		}, os.Stdout, os.Stderr)
+		stop()
+		os.Exit(code)
+	}
 
 	c, err := loadCircuit(*file, *circuit)
 	if err != nil {
@@ -72,7 +104,9 @@ func main() {
 	opt.Beta = *beta
 	opt.SolveRetiming = !*noRetime
 
-	r, err := core.Compile(c, opt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	r, err := core.Compile(ctx, c, opt)
+	stop()
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// sweepRun bundles the flag values sweep mode consumes.
+type sweepRun struct {
+	spec       string // JSON spec path; overrides the matrix flags
+	circuits   string // comma list, or the aliases "all" / "small"
+	lks        string // comma list of l_k values
+	betas      string // comma list of beta values
+	seeds      string // comma list of seeds
+	workers    int
+	timeout    time.Duration // whole-sweep deadline (0: none)
+	jobTimeout time.Duration // per-job deadline (0: none)
+	noRetime   bool
+	format     string // text, json, csv
+	noTiming   bool   // deterministic output: omit wall-clock fields
+}
+
+// runSweep executes the batch mode and returns the process exit code: 0
+// when every job succeeded, 1 on a setup failure or any failed job. It is
+// the whole of `merced -sweep`, factored for testability.
+func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
+	jobs, err := sweepJobs(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	rep, err := sweep.Run(ctx, jobs, sweep.Config{
+		Workers:        cfg.workers,
+		JobTimeout:     cfg.jobTimeout,
+		NoRetimeSolver: cfg.noRetime,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	opts := sweep.RenderOptions{Timing: !cfg.noTiming}
+	switch cfg.format {
+	case "", "text":
+		err = rep.WriteText(stdout, opts)
+	case "json":
+		err = rep.WriteJSON(stdout, opts)
+	case "csv":
+		err = rep.WriteCSV(stdout, opts)
+	default:
+		fmt.Fprintf(stderr, "merced: unknown -format %q (want text, json, or csv)\n", cfg.format)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	if rep.Stats.Failed > 0 {
+		fmt.Fprintln(stderr, "merced:", rep.FirstErr())
+		return 1
+	}
+	return 0
+}
+
+// sweepJobs builds the job list from the spec file or the matrix flags.
+func sweepJobs(cfg sweepRun) ([]sweep.Job, error) {
+	if cfg.spec != "" {
+		f, err := os.Open(cfg.spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := sweep.ParseSpec(f)
+		if err != nil {
+			return nil, err
+		}
+		return s.Expand()
+	}
+	circuits, err := sweep.ExpandCircuits(splitList(cfg.circuits))
+	if err != nil {
+		return nil, err
+	}
+	lks, err := splitInts("lks", cfg.lks)
+	if err != nil {
+		return nil, err
+	}
+	betas, err := splitInts("betas", cfg.betas)
+	if err != nil {
+		return nil, err
+	}
+	seeds, err := splitInt64s("seeds", cfg.seeds)
+	if err != nil {
+		return nil, err
+	}
+	jobs := sweep.Matrix(circuits, lks, betas, seeds)
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sweep matrix is empty (check -circuits/-lks/-betas/-seeds)")
+	}
+	return jobs, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(flagName, s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not an integer", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitInt64s(flagName, s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not an integer", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(*lk, *seed))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(*lk, *seed))
 	if err != nil {
 		fatal(err)
 	}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -311,7 +312,7 @@ func compile(name string, lk int, seed int64) *core.Result {
 	if r, ok := compileCache[key]; ok {
 		return r
 	}
-	r, err := core.Compile(mustLoad(name), core.DefaultOptions(lk, seed))
+	r, err := core.Compile(context.Background(), mustLoad(name), core.DefaultOptions(lk, seed))
 	if err != nil {
 		fatal(fmt.Errorf("%s lk=%d: %w", name, lk, err))
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -24,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(8, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(8, 1))
 	if err != nil {
 		log.Fatal(err)
 	}

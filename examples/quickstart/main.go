@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	// 2. Compile for PPET: input constraint l_k=3, the paper's beta=50,
 	//    a fixed seed for reproducible flow congestion.
 	opt := core.DefaultOptions(3, 1)
-	r, err := core.Compile(c, opt)
+	r, err := core.Compile(context.Background(), c, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

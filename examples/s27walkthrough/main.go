@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -51,7 +52,7 @@ func main() {
 
 	// Figure 5: Saturate_Network congestion. Wider arrows in the paper =
 	// larger d(e) here.
-	fres, err := flow.Saturate(g, flow.DefaultConfig(1))
+	fres, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(1))
 	if err != nil {
 		log.Fatal(err)
 	}

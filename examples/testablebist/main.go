@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(3, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(3, 1))
 	if err != nil {
 		log.Fatal(err)
 	}

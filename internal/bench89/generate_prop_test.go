@@ -1,6 +1,7 @@
 package bench89
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -72,7 +73,7 @@ func TestCompileRandomGenerated(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		r, err := core.Compile(c, core.DefaultOptions(8, seed))
+		r, err := core.Compile(context.Background(), c, core.DefaultOptions(8, seed))
 		if err != nil {
 			return false
 		}

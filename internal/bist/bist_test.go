@@ -1,6 +1,7 @@
 package bist
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench89"
@@ -17,7 +18,7 @@ func emitted(t *testing.T) (*netlist.Circuit, *emit.Info) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(3, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -28,9 +29,11 @@ type Options struct {
 	Beta int
 	// Seed drives every stochastic step.
 	Seed int64
-	// Flow overrides the Saturate_Network parameters; zero-value fields
-	// fall back to the paper defaults with Seed.
-	Flow *flow.Config
+	// Flow overrides the Saturate_Network parameters. The zero value means
+	// "paper defaults with Seed"; in a partially set config, a zero
+	// Capacity/Alpha/Delta falls back to its paper default. Being a value
+	// (not a pointer) keeps Options plainly copyable across sweep jobs.
+	Flow flow.Config
 	// SkipAssign stops after Make_Group (no CBIT merging pass).
 	SkipAssign bool
 	// RefinePasses runs the greedy boundary-refinement pass after
@@ -137,13 +140,56 @@ func (e *LintError) Error() string {
 		e.Stage, errs, lint.Count(e.Diags, lint.Warning))
 }
 
-// Compile runs the full Merced pipeline of Table 2 on the circuit.
-func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
+// Validate reports the first configuration error, with enough precision to
+// act on. It is called at the top of Compile; sweep drivers call it before
+// dispatching a job so a malformed matrix fails fast rather than per-job.
+func (o Options) Validate() error {
+	switch {
+	case o.LK < 1:
+		return fmt.Errorf("core: LK must be >= 1 (got %d); the paper's experiments use 16 and 24", o.LK)
+	case o.Beta < 0:
+		return fmt.Errorf("core: Beta must be >= 0 (got %d); 0 clamps to the Eq. (6) minimum budget of 1", o.Beta)
+	case o.MaxSolveNodes < 0:
+		return fmt.Errorf("core: MaxSolveNodes must be >= 0 (got %d); 0 means the 300000-node default", o.MaxSolveNodes)
+	case o.RefinePasses < 0:
+		return fmt.Errorf("core: RefinePasses must be >= 0 (got %d); 0 disables boundary refinement", o.RefinePasses)
+	}
+	return nil
+}
+
+// flowConfig resolves Options.Flow: the zero value selects the paper
+// defaults seeded from Options.Seed; a partially set config has its zero
+// Capacity/Alpha/Delta fields filled with the paper defaults.
+func (o Options) flowConfig() flow.Config {
+	if o.Flow == (flow.Config{}) {
+		return flow.DefaultConfig(o.Seed)
+	}
+	fcfg := o.Flow
+	if fcfg.Capacity == 0 {
+		fcfg.Capacity = 1
+	}
+	if fcfg.Alpha == 0 {
+		fcfg.Alpha = 4
+	}
+	if fcfg.Delta == 0 {
+		fcfg.Delta = 0.01
+	}
+	return fcfg
+}
+
+// Compile runs the full Merced pipeline of Table 2 on the circuit. The
+// context cancels the compilation: it is checked between phases and
+// propagated into the Saturate_Network and retiming-solver loops, so a
+// cancelled or expired ctx aborts promptly with an error wrapping ctx.Err().
+func Compile(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c == nil {
 		return nil, errors.New("core: nil circuit")
 	}
-	if opt.LK < 1 {
-		return nil, errors.New("core: LK must be positive")
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	if opt.Beta < 1 {
 		opt.Beta = 1
@@ -163,6 +209,9 @@ func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
 	}
 
 	// STEP 1: graph representation.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: building graph: %w", err)
+	}
 	g, err := graph.FromCircuit(c)
 	if err != nil {
 		return nil, fmt.Errorf("core: building graph: %w", err)
@@ -170,30 +219,23 @@ func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
 	ph.Graph, mark = lap(mark)
 
 	// STEP 2: strongly connected components.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: SCC: %w", err)
+	}
 	scc := g.SCC()
 	ph.SCC, mark = lap(mark)
 
 	// STEP 3a: Saturate_Network.
-	fcfg := flow.DefaultConfig(opt.Seed)
-	if opt.Flow != nil {
-		fcfg = *opt.Flow
-		if fcfg.Capacity == 0 {
-			fcfg.Capacity = 1
-		}
-		if fcfg.Alpha == 0 {
-			fcfg.Alpha = 4
-		}
-		if fcfg.Delta == 0 {
-			fcfg.Delta = 0.01
-		}
-	}
-	fres, err := flow.Saturate(g, fcfg)
+	fres, err := flow.Saturate(ctx, g, opt.flowConfig())
 	if err != nil {
 		return nil, fmt.Errorf("core: saturate network: %w", err)
 	}
 	ph.Saturate, mark = lap(mark)
 
 	// STEP 3b: Make_Group under the input constraint and Eq. (6) budget.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: make group: %w", err)
+	}
 	d := append([]float64(nil), fres.D...)
 	pres, err := partition.MakeGroup(g, scc, d, partition.Options{LK: opt.LK, Beta: opt.Beta, Locked: opt.Locked})
 	if err != nil {
@@ -205,6 +247,9 @@ func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
 	// refinement pass.
 	var merges []partition.MergeTrace
 	if !opt.SkipAssign {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: assign CBIT: %w", err)
+		}
 		merges, err = partition.AssignCBIT(pres, opt.LK)
 		if err != nil {
 			return nil, fmt.Errorf("core: assign CBIT: %w", err)
@@ -229,7 +274,7 @@ func Compile(c *netlist.Circuit, opt Options) (*Result, error) {
 			limit = 300000
 		}
 		if g.NumNodes() <= limit {
-			sol, cg, err := solveRetiming(g, scc, pres, fres)
+			sol, cg, err := solveRetiming(ctx, g, pres, fres)
 			if err != nil {
 				return nil, fmt.Errorf("core: retiming solver: %w", err)
 			}
@@ -304,7 +349,7 @@ func ratio(cbitArea, circuitArea float64) float64 {
 	return 100 * cbitArea / (circuitArea + cbitArea)
 }
 
-func solveRetiming(g *graph.G, scc *graph.SCCInfo, p *partition.Result, f *flow.Result) (*retime.Solution, *retime.CombGraph, error) {
+func solveRetiming(ctx context.Context, g *graph.G, p *partition.Result, f *flow.Result) (*retime.Solution, *retime.CombGraph, error) {
 	cg := retime.Build(g)
 	cuts := make(map[int]bool, len(p.CutNets))
 	for _, e := range p.CutNets {
@@ -315,6 +360,6 @@ func solveRetiming(g *graph.G, scc *graph.SCCInfo, p *partition.Result, f *flow.
 	for _, e := range p.CutNets {
 		priority[e] = f.D[e]
 	}
-	sol, err := retime.Solve(cg, cuts, priority)
+	sol, err := retime.Solve(ctx, cg, cuts, priority)
 	return sol, cg, err
 }

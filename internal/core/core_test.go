@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench89"
@@ -17,7 +18,7 @@ func s27(t *testing.T) *netlist.Circuit {
 }
 
 func TestCompileS27(t *testing.T) {
-	r, err := Compile(s27(t), DefaultOptions(3, 1))
+	r, err := Compile(context.Background(), s27(t), DefaultOptions(3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestRetimedAlwaysCheaper(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := Compile(c, DefaultOptions(16, 1))
+		r, err := Compile(context.Background(), c, DefaultOptions(16, 1))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -73,11 +74,11 @@ func TestLargerLKCutsFewerNets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r16, err := Compile(c, DefaultOptions(16, 1))
+	r16, err := Compile(context.Background(), c, DefaultOptions(16, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r24, err := Compile(c, DefaultOptions(24, 1))
+	r24, err := Compile(context.Background(), c, DefaultOptions(24, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestLargerLKCutsFewerNets(t *testing.T) {
 func TestNoCutsWhenLKExceedsInputs(t *testing.T) {
 	// Table 12's zero entries: circuits whose input count is below l_k
 	// need no internal cuts.
-	r, err := Compile(s27(t), DefaultOptions(16, 1))
+	r, err := Compile(context.Background(), s27(t), DefaultOptions(16, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,16 +103,16 @@ func TestNoCutsWhenLKExceedsInputs(t *testing.T) {
 }
 
 func TestCompileValidation(t *testing.T) {
-	if _, err := Compile(nil, DefaultOptions(16, 1)); err == nil {
+	if _, err := Compile(context.Background(), nil, DefaultOptions(16, 1)); err == nil {
 		t.Fatal("nil circuit accepted")
 	}
-	if _, err := Compile(s27(t), Options{LK: 0}); err == nil {
+	if _, err := Compile(context.Background(), s27(t), Options{LK: 0}); err == nil {
 		t.Fatal("LK=0 accepted")
 	}
 }
 
 func TestSkipAssign(t *testing.T) {
-	r, err := Compile(s27(t), Options{LK: 3, Beta: 50, Seed: 1, SkipAssign: true})
+	r, err := Compile(context.Background(), s27(t), Options{LK: 3, Beta: 50, Seed: 1, SkipAssign: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSkipAssign(t *testing.T) {
 }
 
 func TestSolverAccountingConsistent(t *testing.T) {
-	r, err := Compile(s27(t), DefaultOptions(3, 1))
+	r, err := Compile(context.Background(), s27(t), DefaultOptions(3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestSolverAccountingConsistent(t *testing.T) {
 func TestMaxSolveNodesSkipsSolver(t *testing.T) {
 	opt := DefaultOptions(3, 1)
 	opt.MaxSolveNodes = 2 // below s27's node count
-	r, err := Compile(s27(t), opt)
+	r, err := Compile(context.Background(), s27(t), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestMaxSolveNodesSkipsSolver(t *testing.T) {
 }
 
 func TestDeterministicCompile(t *testing.T) {
-	a, err := Compile(s27(t), DefaultOptions(3, 42))
+	a, err := Compile(context.Background(), s27(t), DefaultOptions(3, 42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Compile(s27(t), DefaultOptions(3, 42))
+	b, err := Compile(context.Background(), s27(t), DefaultOptions(3, 42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestDeterministicCompile(t *testing.T) {
 }
 
 func TestPhasesPopulated(t *testing.T) {
-	r, err := Compile(s27(t), DefaultOptions(3, 1))
+	r, err := Compile(context.Background(), s27(t), DefaultOptions(3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestEndToEndSmallSuite(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, lk := range []int{16, 24} {
-			r, err := Compile(c, DefaultOptions(lk, 1))
+			r, err := Compile(context.Background(), c, DefaultOptions(lk, 1))
 			if err != nil {
 				t.Fatalf("%s lk=%d: %v", sp.Name, lk, err)
 			}

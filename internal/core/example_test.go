@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func ExampleCompile() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(3, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(3, 1))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/flow"
@@ -8,8 +9,8 @@ import (
 
 func TestCompileWithFlowOverride(t *testing.T) {
 	opt := DefaultOptions(3, 1)
-	opt.Flow = &flow.Config{MinVisit: 5, Seed: 9} // zero Capacity/Alpha/Delta fall back
-	r, err := Compile(s27(t), opt)
+	opt.Flow = flow.Config{MinVisit: 5, Seed: 9} // zero Capacity/Alpha/Delta fall back
+	r, err := Compile(context.Background(), s27(t), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestCompileWithFlowOverride(t *testing.T) {
 func TestCompileBetaClamped(t *testing.T) {
 	opt := DefaultOptions(3, 1)
 	opt.Beta = 0 // clamped to 1 rather than rejected
-	if _, err := Compile(s27(t), opt); err != nil {
+	if _, err := Compile(context.Background(), s27(t), opt); err != nil {
 		t.Fatalf("beta=0 should clamp: %v", err)
 	}
 }
@@ -34,7 +35,7 @@ func TestCompileTinyLK(t *testing.T) {
 	// for every cluster; compilation still succeeds and reports the
 	// violation through MaxInputs.
 	opt := DefaultOptions(1, 1)
-	r, err := Compile(s27(t), opt)
+	r, err := Compile(context.Background(), s27(t), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +48,11 @@ func TestRefineDisabled(t *testing.T) {
 	on := DefaultOptions(3, 1)
 	off := DefaultOptions(3, 1)
 	off.RefinePasses = 0
-	a, err := Compile(s27(t), on)
+	a, err := Compile(context.Background(), s27(t), on)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Compile(s27(t), off)
+	b, err := Compile(context.Background(), s27(t), off)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestLockedNodesRespected(t *testing.T) {
 	opt.RefinePasses = 0 // refinement may legally move locked cells; pin the pass off
 	// Lock G9 (node id resolved after graph build, so compile twice: once
 	// to find the id, once locked).
-	r0, err := Compile(c, opt)
+	r0, err := Compile(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestLockedNodesRespected(t *testing.T) {
 		t.Fatal("G9 missing")
 	}
 	opt.Locked = map[int]bool{id: true}
-	r, err := Compile(c, opt)
+	r, err := Compile(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

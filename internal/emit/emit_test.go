@@ -1,6 +1,7 @@
 package emit
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench89"
@@ -16,7 +17,7 @@ func compileS27(t *testing.T, lk int) *core.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(lk, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(lk, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestTestableOnGeneratedCircuit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(8, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(8, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

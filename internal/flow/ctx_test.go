@@ -1,0 +1,23 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSaturateCancelledContext(t *testing.T) {
+	g := s27Graph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Saturate(ctx, g, DefaultConfig(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSaturateNilContext(t *testing.T) {
+	g := s27Graph(t)
+	if _, err := Saturate(nil, g, DefaultConfig(1)); err != nil { //lint:ignore SA1012 nil ctx tolerance is part of the contract
+		t.Fatalf("nil ctx should behave as Background: %v", err)
+	}
+}

@@ -7,7 +7,9 @@
 package flow
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -65,8 +67,13 @@ type Result struct {
 	Trees int
 }
 
-// Saturate runs the modified Saturate_Network of Table 3 on g.
-func Saturate(g *graph.G, cfg Config) (*Result, error) {
+// Saturate runs the modified Saturate_Network of Table 3 on g. The context
+// is checked once per shortest-path tree, so a cancelled or expired ctx
+// stops the saturation loop promptly with an error wrapping ctx.Err().
+func Saturate(ctx context.Context, g *graph.G, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Capacity <= 0 || cfg.Delta <= 0 || cfg.MinVisit < 0 {
 		return nil, errors.New("flow: invalid config")
 	}
@@ -116,6 +123,9 @@ func Saturate(g *graph.G, cfg Config) (*Result, error) {
 		maxIter = math.MaxInt
 	}
 	for len(under) > 0 && res.Trees < maxIter { // STEP 3
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("flow: saturate after %d trees: %w", res.Trees, err)
+		}
 		v := under[rng.Intn(len(under))] // STEP 3.1 (random under-visited node)
 		res.Trees++
 		tree, reached := dj.tree(v, res.D)

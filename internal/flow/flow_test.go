@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -45,7 +46,7 @@ func s27Graph(t *testing.T) *graph.G {
 
 func TestSaturateBasics(t *testing.T) {
 	g := s27Graph(t)
-	res, err := Saturate(g, DefaultConfig(42))
+	res, err := Saturate(context.Background(), g, DefaultConfig(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestSaturateBasics(t *testing.T) {
 
 func TestSaturateDeterministic(t *testing.T) {
 	g := s27Graph(t)
-	a, err := Saturate(g, DefaultConfig(7))
+	a, err := Saturate(context.Background(), g, DefaultConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Saturate(g, DefaultConfig(7))
+	b, err := Saturate(context.Background(), g, DefaultConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSaturateDeterministic(t *testing.T) {
 			t.Fatalf("nondeterministic: d[%d] %v vs %v", e, a.D[e], b.D[e])
 		}
 	}
-	c, err := Saturate(g, DefaultConfig(8))
+	c, err := Saturate(context.Background(), g, DefaultConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSaturateSCCNetsMoreCongested(t *testing.T) {
 	// nets. Compare mean flow on intra-SCC nets vs others.
 	g := s27Graph(t)
 	info := g.SCC()
-	res, err := Saturate(g, DefaultConfig(3))
+	res, err := Saturate(context.Background(), g, DefaultConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSaturateVisitSource(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.Policy = VisitSource
 	cfg.MinVisit = 2 // keep the literal policy cheap
-	res, err := Saturate(g, cfg)
+	res, err := Saturate(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestSaturateMaxIterations(t *testing.T) {
 	g := s27Graph(t)
 	cfg := DefaultConfig(1)
 	cfg.MaxIterations = 5
-	res, err := Saturate(g, cfg)
+	res, err := Saturate(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestSaturateInvalidConfig(t *testing.T) {
 		{Capacity: 1, Delta: 0.1, MinVisit: -1},
 	}
 	for _, cfg := range bad {
-		if _, err := Saturate(g, cfg); err == nil {
+		if _, err := Saturate(context.Background(), g, cfg); err == nil {
 			t.Fatalf("config %+v accepted", cfg)
 		}
 	}
@@ -187,7 +188,7 @@ func TestSaturateEmptyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Saturate(g, DefaultConfig(1))
+	res, err := Saturate(context.Background(), g, DefaultConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestSaturateFlowQuantised(t *testing.T) {
 	f := func(seed int64) bool {
 		cfg := DefaultConfig(seed)
 		cfg.MaxIterations = 50
-		res, err := Saturate(g, cfg)
+		res, err := Saturate(context.Background(), g, cfg)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench89"
@@ -19,7 +20,7 @@ func compileS27(t *testing.T) (*core.Result, core.Options) {
 		t.Fatal(err)
 	}
 	opt := core.DefaultOptions(3, 1)
-	res, err := core.Compile(c, opt)
+	res, err := core.Compile(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestPT004CBITWidth(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := core.DefaultOptions(64, 1)
-	res, err := core.Compile(wide, opt)
+	res, err := core.Compile(context.Background(), wide, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestCoreLintGate(t *testing.T) {
 	}
 	opt := core.DefaultOptions(3, 1)
 	opt.Lint = true
-	res, err := core.Compile(c, opt)
+	res, err := core.Compile(context.Background(), c, opt)
 	if err != nil {
 		t.Fatalf("lint-gated compile of s27 failed: %v", err)
 	}
@@ -308,7 +309,7 @@ z = NOT(y)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = core.Compile(broken, opt)
+	_, err = core.Compile(context.Background(), broken, opt)
 	le, ok := err.(*core.LintError)
 	if !ok {
 		t.Fatalf("want *core.LintError, got %v", err)

@@ -151,8 +151,16 @@ func AssignCBIT(r *Result, lk int) ([]MergeTrace, error) {
 			if minIdx >= 0 {
 				cands[minIdx] = true
 			}
-			bestIdx, bestIota, bestRemoved := -1, 0, -1
+			// Scan candidates in index order: map iteration order would make
+			// tie-breaks between equal (iota, removed) candidates random,
+			// and with it the whole compilation nondeterministic.
+			candIdx := make([]int, 0, len(cands))
 			for gi := range cands {
+				candIdx = append(candIdx, gi)
+			}
+			sort.Ints(candIdx)
+			bestIdx, bestIota, bestRemoved := -1, 0, -1
+			for _, gi := range candIdx {
 				gc := clusters[gi]
 				if processed[gi] {
 					continue // already emitted as a CBIT of its own

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -42,7 +43,7 @@ func s27Setup(t *testing.T, seed int64) (*graph.G, *graph.SCCInfo, []float64) {
 		t.Fatal(err)
 	}
 	scc := g.SCC()
-	fres, err := flow.Saturate(g, flow.DefaultConfig(seed))
+	fres, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestPartitionPropertyValid(t *testing.T) {
 			return false
 		}
 		scc := g.SCC()
-		fres, err := flow.Saturate(g, flow.DefaultConfig(seed))
+		fres, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(seed))
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -72,7 +73,7 @@ func TestRefinePropertyRandom(t *testing.T) {
 			return false
 		}
 		scc := g.SCC()
-		fres, err := flow.Saturate(g, flow.DefaultConfig(seed))
+		fres, err := flow.Saturate(context.Background(), g, flow.DefaultConfig(seed))
 		if err != nil {
 			return false
 		}

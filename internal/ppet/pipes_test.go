@@ -1,6 +1,7 @@
 package ppet
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench89"
@@ -83,7 +84,7 @@ func compileBench(t *testing.T, name string, lk int) *core.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(lk, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(lk, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ppet
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -35,7 +36,7 @@ func compiled(t *testing.T, lk int) (*netlist.Circuit, *core.Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Compile(c, core.DefaultOptions(lk, 1))
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(lk, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

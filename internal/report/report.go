@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Table accumulates rows for aligned text output.
@@ -40,6 +41,8 @@ func (t *Table) AddRowf(values ...interface{}) {
 			cells[i] = fmt.Sprintf("%d", x)
 		case float64:
 			cells[i] = fmt.Sprintf("%.2f", x)
+		case time.Duration:
+			cells[i] = x.Round(time.Microsecond).String()
 		default:
 			cells[i] = fmt.Sprintf("%v", x)
 		}

@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -79,7 +80,7 @@ func TestApplySolvedRetiming(t *testing.T) {
 		}
 	}
 	cg.SetRequirements(cuts)
-	sol, err := Solve(cg, cuts, nil)
+	sol, err := Solve(context.Background(), cg, cuts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,23 @@
+package retime
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSolveCancelledContext(t *testing.T) {
+	_, cg := s27CombGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, cg, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveNilContext(t *testing.T) {
+	_, cg := s27CombGraph(t)
+	if _, err := Solve(nil, cg, nil, nil); err != nil { //lint:ignore SA1012 nil ctx tolerance is part of the contract
+		t.Fatalf("nil ctx should behave as Background: %v", err)
+	}
+}

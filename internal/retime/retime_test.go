@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -106,7 +107,7 @@ func TestCheckLegal(t *testing.T) {
 func TestSolveNoRequirements(t *testing.T) {
 	_, cg := s27CombGraph(t)
 	cg.SetRequirements(nil)
-	sol, err := Solve(cg, nil, nil)
+	sol, err := Solve(context.Background(), cg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestSolveFeasibleCycle(t *testing.T) {
 	cg := chainGraph([]int{1, 1, 1}, true)
 	cuts := map[int]bool{0: true, 1: true, 2: true}
 	cg.SetRequirements(cuts)
-	sol, err := Solve(cg, cuts, nil)
+	sol, err := Solve(context.Background(), cg, cuts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestSolveInfeasibleCycleDemotes(t *testing.T) {
 	cg := chainGraph([]int{1, 0, 0}, true)
 	cuts := map[int]bool{0: true, 1: true, 2: true}
 	cg.SetRequirements(cuts)
-	sol, err := Solve(cg, cuts, nil)
+	sol, err := Solve(context.Background(), cg, cuts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestSolvePriorityOrder(t *testing.T) {
 	cuts := map[int]bool{0: true, 1: true, 2: true}
 	cg.SetRequirements(cuts)
 	pri := map[int]float64{0: 10, 1: 1, 2: 2}
-	sol, err := Solve(cg, cuts, pri)
+	sol, err := Solve(context.Background(), cg, cuts, pri)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestSolveAcyclicAlwaysCoverable(t *testing.T) {
 	cg := chainGraph([]int{0, 0, 0}, false)
 	cuts := map[int]bool{0: true, 1: true, 2: true}
 	cg.SetRequirements(cuts)
-	sol, err := Solve(cg, cuts, nil)
+	sol, err := Solve(context.Background(), cg, cuts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestSolveCyclePreservationProperty(t *testing.T) {
 			}
 		}
 		cg.SetRequirements(cuts)
-		sol, err := Solve(cg, cuts, nil)
+		sol, err := Solve(context.Background(), cg, cuts, nil)
 		if err != nil {
 			// Only acceptable failure: a register-free cycle with no
 			// demotable requirement cannot occur since cuts are demotable.
@@ -321,7 +322,7 @@ func TestCoverageBySCC(t *testing.T) {
 }
 
 func TestSolveNilGraph(t *testing.T) {
-	if _, err := Solve(nil, nil, nil); err == nil {
+	if _, err := Solve(context.Background(), nil, nil, nil); err == nil {
 		t.Fatal("nil graph accepted")
 	}
 }

@@ -1,7 +1,9 @@
 package retime
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
 )
 
@@ -35,7 +37,15 @@ type Solution struct {
 // restore feasibility, preferring the nets with the lowest congestion
 // priority, and re-solves. priority may be nil (arbitrary demotion order);
 // cutNets must match the requirements previously set via SetRequirements.
-func Solve(cg *CombGraph, cutNets map[int]bool, priority map[int]float64) (*Solution, error) {
+//
+// The context cancels the solver: it is checked on every demote-and-resolve
+// round and at the label-correcting pass's amortised cycle-detection
+// checkpoints, so even a single long SPFA pass aborts promptly with an
+// error wrapping ctx.Err().
+func Solve(ctx context.Context, cg *CombGraph, cutNets map[int]bool, priority map[int]float64) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cg == nil {
 		return nil, errors.New("retime: nil graph")
 	}
@@ -76,8 +86,14 @@ func Solve(cg *CombGraph, cutNets map[int]bool, priority map[int]float64) (*Solu
 			continue
 		}
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("retime: solver round %d: %w", sol.Iterations, err)
+			}
 			sol.Iterations++
-			cycles := st.spfa(cg, req, comp.vertices, comp.edges)
+			cycles, err := st.spfa(ctx, cg, req, comp.vertices, comp.edges)
+			if err != nil {
+				return nil, err
+			}
 			if cycles == nil {
 				break
 			}
@@ -105,8 +121,14 @@ func Solve(cg *CombGraph, cutNets map[int]bool, priority map[int]float64) (*Solu
 		allE[i] = i
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("retime: solver round %d: %w", sol.Iterations, err)
+		}
 		sol.Iterations++
-		cycles := st.spfa(cg, req, allV, allE)
+		cycles, err := st.spfa(ctx, cg, req, allV, allE)
+		if err != nil {
+			return nil, err
+		}
 		if cycles == nil {
 			break
 		}
@@ -165,8 +187,10 @@ func newSolverState(n int) *solverState {
 // up as a cycle in the predecessor graph; the pass checks for those every
 // |vertices| relaxations (the classic amortised Bellman-Ford detection)
 // and, when found, returns all vertex-disjoint predecessor cycles as edge
-// lists. A nil return means the system is feasible (distances in st.dist).
-func (st *solverState) spfa(cg *CombGraph, req []int, vertices, edges []int) [][]int {
+// lists. A nil cycle set with a nil error means the system is feasible
+// (distances in st.dist). ctx is polled at the same amortised checkpoints,
+// so cancellation costs nothing on the relaxation fast path.
+func (st *solverState) spfa(ctx context.Context, cg *CombGraph, req []int, vertices, edges []int) ([][]int, error) {
 	byTo := make(map[int][]int, len(vertices))
 	for _, ei := range edges {
 		byTo[cg.Edges[ei].To] = append(byTo[cg.Edges[ei].To], ei)
@@ -197,14 +221,17 @@ func (st *solverState) spfa(cg *CombGraph, req []int, vertices, edges []int) [][
 		}
 		if relaxations >= nextCheck {
 			nextCheck = relaxations + len(vertices)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("retime: solver after %d relaxations: %w", relaxations, err)
+			}
 			if cycles := st.predCycles(cg, vertices); len(cycles) > 0 {
-				return cycles
+				return cycles, nil
 			}
 		}
 	}
 	// Queue drained: every constraint is satisfied, so the system is
 	// feasible (a residual predecessor cycle could only be zero-weight).
-	return nil
+	return nil, nil
 }
 
 // predCycles finds all vertex-disjoint cycles in the predecessor graph; a

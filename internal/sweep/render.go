@@ -1,0 +1,159 @@
+package sweep
+
+// This file renders reports: JSON for machines, CSV for spreadsheets,
+// aligned text for terminals. With Timing off, the JSON and CSV forms are
+// byte-for-byte deterministic for a given job matrix — independent of
+// worker count, scheduling, and machine speed — which is what makes sweep
+// reports diffable across runs and what the determinism tests pin down.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// RenderOptions selects what the writers emit.
+type RenderOptions struct {
+	// Timing includes wall-clock fields (per-job elapsed, pool stats).
+	// These are non-deterministic; leave Timing false when the output
+	// must be reproducible byte-for-byte.
+	Timing bool
+}
+
+type jobJSON struct {
+	Circuit   string           `json:"circuit"`
+	LK        int              `json:"lk"`
+	Beta      int              `json:"beta"`
+	Seed      int64            `json:"seed"`
+	Error     string           `json:"error,omitempty"`
+	Clusters  int              `json:"clusters,omitempty"`
+	MaxInputs int              `json:"max_inputs,omitempty"`
+	Areas     *core.AreaReport `json:"areas,omitempty"`
+	ElapsedMS float64          `json:"elapsed_ms,omitempty"`
+}
+
+type phasesJSON struct {
+	Graph    float64 `json:"graph"`
+	SCC      float64 `json:"scc"`
+	Saturate float64 `json:"saturate"`
+	Group    float64 `json:"group"`
+	Assign   float64 `json:"assign"`
+	Retime   float64 `json:"retime"`
+}
+
+type statsJSON struct {
+	Jobs       int         `json:"jobs"`
+	Failed     int         `json:"failed"`
+	Workers    int         `json:"workers,omitempty"`
+	WallMS     float64     `json:"wall_ms,omitempty"`
+	ComputeMS  float64     `json:"compute_ms,omitempty"`
+	JobsPerSec float64     `json:"jobs_per_sec,omitempty"`
+	Speedup    float64     `json:"speedup,omitempty"`
+	PhasesMS   *phasesJSON `json:"phases_ms,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteJSON renders the report as indented JSON: a "jobs" array in input
+// order plus a "stats" object. Timing fields appear only under
+// opts.Timing.
+func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
+	out := struct {
+		Jobs  []jobJSON `json:"jobs"`
+		Stats statsJSON `json:"stats"`
+	}{
+		Jobs:  make([]jobJSON, 0, len(r.Jobs)),
+		Stats: statsJSON{Jobs: r.Stats.Jobs, Failed: r.Stats.Failed},
+	}
+	for i := range r.Jobs {
+		jr := &r.Jobs[i]
+		jj := jobJSON{Circuit: jr.Job.Circuit, LK: jr.Job.LK, Beta: jr.Job.Beta, Seed: jr.Job.Seed}
+		if jr.Err != nil {
+			jj.Error = jr.Err.Error()
+		} else {
+			areas := jr.Areas
+			jj.Clusters = jr.Clusters
+			jj.MaxInputs = jr.MaxInputs
+			jj.Areas = &areas
+		}
+		if opts.Timing {
+			jj.ElapsedMS = ms(jr.Elapsed)
+		}
+		out.Jobs = append(out.Jobs, jj)
+	}
+	if opts.Timing {
+		st := r.Stats
+		out.Stats.Workers = st.Workers
+		out.Stats.WallMS = ms(st.Wall)
+		out.Stats.ComputeMS = ms(st.Compute)
+		out.Stats.JobsPerSec = st.JobsPerSec
+		out.Stats.Speedup = st.Speedup()
+		out.Stats.PhasesMS = &phasesJSON{
+			Graph: ms(st.Phases.Graph), SCC: ms(st.Phases.SCC),
+			Saturate: ms(st.Phases.Saturate), Group: ms(st.Phases.Group),
+			Assign: ms(st.Phases.Assign), Retime: ms(st.Phases.Retime),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// table builds the shared per-job table for the CSV and text writers.
+func (r *Report) table(title string, opts RenderOptions) *report.Table {
+	headers := []string{"circuit", "lk", "beta", "seed", "clusters", "max_inputs",
+		"cut_nets", "cuts_on_scc", "covered", "excess",
+		"cbit_retimed", "cbit_nonretimed", "ratio_retimed", "ratio_nonretimed", "saving", "error"}
+	if opts.Timing {
+		headers = append(headers, "elapsed")
+	}
+	t := report.NewTable(title, headers...)
+	for i := range r.Jobs {
+		jr := &r.Jobs[i]
+		errText := ""
+		if jr.Err != nil {
+			errText = jr.Err.Error()
+		}
+		row := []interface{}{jr.Job.Circuit, jr.Job.LK, jr.Job.Beta, jr.Job.Seed,
+			jr.Clusters, jr.MaxInputs,
+			jr.Areas.CutNets, jr.Areas.CutNetsOnSCC, jr.Areas.CoveredCuts, jr.Areas.ExcessCuts,
+			jr.Areas.CBITAreaRetimed, jr.Areas.CBITAreaNonRetimed,
+			jr.Areas.RatioRetimed, jr.Areas.RatioNonRetimed, jr.Areas.Saving(), errText}
+		if opts.Timing {
+			row = append(row, jr.Elapsed)
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+// WriteCSV renders one row per job in input order.
+func (r *Report) WriteCSV(w io.Writer, opts RenderOptions) error {
+	return r.table("", opts).WriteCSV(w)
+}
+
+// WriteText renders the aligned per-job table followed by the pool
+// statistics (the latter only under opts.Timing).
+func (r *Report) WriteText(w io.Writer, opts RenderOptions) error {
+	if err := r.table("Sweep report", opts).Write(w); err != nil {
+		return err
+	}
+	st := r.Stats
+	if _, err := fmt.Fprintf(w, "\n%d jobs, %d failed\n", st.Jobs, st.Failed); err != nil {
+		return err
+	}
+	if !opts.Timing {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "workers %d: wall %v, compute %v (%.1fx speedup, %.1f jobs/s)\nphase totals: graph %v, scc %v, saturate %v, group %v, assign %v, retime %v\n",
+		st.Workers, st.Wall.Round(time.Millisecond), st.Compute.Round(time.Millisecond),
+		st.Speedup(), st.JobsPerSec,
+		st.Phases.Graph.Round(time.Millisecond), st.Phases.SCC.Round(time.Millisecond),
+		st.Phases.Saturate.Round(time.Millisecond), st.Phases.Group.Round(time.Millisecond),
+		st.Phases.Assign.Round(time.Millisecond), st.Phases.Retime.Round(time.Millisecond))
+	return err
+}

@@ -1,0 +1,322 @@
+// Package sweep is the batch-compilation engine behind `merced -sweep`: it
+// runs N independent (circuit, l_k, beta, seed) Merced compilations across a
+// bounded worker pool. The paper's Tables 10-12 are exactly such a batch —
+// every benchmark crossed with l_k ∈ {16, 24} — and each job is an
+// embarrassingly parallel unit, so the engine's only obligations are the
+// boring but load-bearing ones:
+//
+//   - bounded parallelism (default runtime.NumCPU workers),
+//   - context cancellation and deadline propagation into every pipeline
+//     phase of every job (via core.Compile's ctx),
+//   - per-job panic recovery that downgrades a crashed job to a structured
+//     *PanicError instead of killing the sweep,
+//   - deterministic results: job i's outcome lands at Report.Jobs[i]
+//     regardless of worker count or scheduling, and each job compiles its
+//     own clone of the circuit so the shared master stays pristine,
+//   - aggregated per-phase timing and throughput statistics.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Job is one compilation unit of a sweep: a circuit reference plus the
+// experiment coordinates of the paper's Tables 10-12.
+type Job struct {
+	// Circuit names a built-in benchmark (s27 or a Table 9 circuit) or a
+	// .bench netlist path; see LoadCircuit.
+	Circuit string `json:"circuit"`
+	// LK is the input-size constraint l_k (paper: 16 and 24).
+	LK int `json:"lk"`
+	// Beta is the Eq. (6) SCC cut-budget multiplier; 0 means the paper's 50.
+	Beta int `json:"beta,omitempty"`
+	// Seed drives every stochastic step of the job.
+	Seed int64 `json:"seed"`
+}
+
+// Options returns the core configuration for the job: the paper defaults
+// for the job's l_k and seed, with the job's beta applied.
+func (j Job) Options() core.Options {
+	beta := j.Beta
+	if beta == 0 {
+		beta = 50
+	}
+	opt := core.DefaultOptions(j.LK, j.Seed)
+	opt.Beta = beta
+	return opt
+}
+
+func (j Job) String() string {
+	return fmt.Sprintf("%s lk=%d beta=%d seed=%d", j.Circuit, j.LK, j.Beta, j.Seed)
+}
+
+// CompileFunc is the per-job compilation hook. Config.Compile overrides it
+// for tests (fault injection) and future result caches; the default is
+// core.Compile.
+type CompileFunc func(ctx context.Context, c *netlist.Circuit, opt core.Options) (*core.Result, error)
+
+// Config tunes a sweep run. The zero value runs core.Compile with
+// runtime.NumCPU() workers, no per-job deadline, and built-in circuit
+// loading.
+type Config struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// JobTimeout, when positive, caps each job with a context deadline
+	// derived from the sweep context.
+	JobTimeout time.Duration
+	// NoRetimeSolver turns off the Leiserson-Saxe solver for every job
+	// (per-SCC bound accounting only), mirroring `-no-retime-solver`.
+	NoRetimeSolver bool
+	// Lint turns on the per-job design-rule gates.
+	Lint bool
+	// KeepResults retains each job's full *core.Result (graphs, partitions,
+	// retiming labels). Off by default: a Table 10-12 sweep only needs the
+	// summary, and full results for thousands of jobs would pin memory.
+	KeepResults bool
+	// Load resolves Job.Circuit to a netlist; nil means LoadCircuit.
+	Load func(name string) (*netlist.Circuit, error)
+	// Compile runs one job; nil means core.Compile.
+	Compile CompileFunc
+}
+
+// JobResult is the outcome of one job. Exactly one of Err or the summary
+// fields is meaningful.
+type JobResult struct {
+	Job Job
+	// Err is the structured failure: a compile error, an error wrapping
+	// context.Canceled / context.DeadlineExceeded when the sweep was
+	// cancelled, or a *PanicError when the job crashed.
+	Err error
+	// Clusters and MaxInputs summarise the partition.
+	Clusters  int
+	MaxInputs int
+	// Areas is the Table 10-12 pricing of the job.
+	Areas core.AreaReport
+	// Elapsed and Phases are the job's wall-clock cost.
+	Elapsed time.Duration
+	Phases  core.Phases
+	// Result is the full compilation, retained only under
+	// Config.KeepResults.
+	Result *core.Result
+}
+
+// PanicError is a recovered per-job panic, downgraded to an error so one
+// crashed job cannot take down the sweep.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the crashing goroutine's stack trace.
+	Stack string
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("sweep: job panicked: %v", e.Value) }
+
+// Stats aggregates a finished sweep.
+type Stats struct {
+	Jobs    int
+	Failed  int
+	Workers int
+	// Wall is the sweep's wall-clock time; Compute is the sum of per-job
+	// elapsed times, so Compute/Wall estimates the realised parallelism.
+	Wall    time.Duration
+	Compute time.Duration
+	// Phases sums the per-phase timings across all successful jobs.
+	Phases core.Phases
+	// JobsPerSec is Jobs / Wall.
+	JobsPerSec float64
+}
+
+// Speedup is the realised parallelism Compute/Wall (1.0 on one worker).
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Compute) / float64(s.Wall)
+}
+
+// Report is a completed sweep: one JobResult per input job, in input order.
+type Report struct {
+	Jobs  []JobResult
+	Stats Stats
+}
+
+// FirstErr returns the first failed job's error, or nil when every job
+// succeeded.
+func (r *Report) FirstErr() error {
+	for i := range r.Jobs {
+		if err := r.Jobs[i].Err; err != nil {
+			return fmt.Errorf("job %d (%s): %w", i, r.Jobs[i].Job, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the jobs across the worker pool and returns the per-job
+// outcomes in input order, independent of worker count and scheduling.
+//
+// Setup problems — an invalid job or an unloadable circuit — fail the whole
+// sweep before any compilation starts. Per-job failures (compile errors,
+// panics, cancellation) are recorded in Report.Jobs[i].Err and never abort
+// the sweep; cancelling ctx makes every unfinished job report an error
+// wrapping ctx.Err() and Run return promptly once in-flight jobs notice.
+func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	load := cfg.Load
+	if load == nil {
+		load = LoadCircuit
+	}
+	compile := cfg.Compile
+	if compile == nil {
+		compile = core.Compile
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Fail fast on a malformed matrix: a bad job is a spec bug, not an
+	// experimental outcome.
+	for i, j := range jobs {
+		if j.Circuit == "" {
+			return nil, fmt.Errorf("sweep: job %d: empty circuit name", i)
+		}
+		if err := j.Options().Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: job %d (%s): %w", i, j, err)
+		}
+	}
+
+	// Preload each distinct circuit once, serially, so load failures are
+	// deterministic and the expensive benchmark generators run once per
+	// name. Workers clone the pristine master per job (Compile mutates
+	// fanout caches on its input).
+	masters := make(map[string]*netlist.Circuit, len(jobs))
+	for i, j := range jobs {
+		if _, ok := masters[j.Circuit]; ok {
+			continue
+		}
+		c, err := load(j.Circuit)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: job %d: loading circuit %q: %w", i, j.Circuit, err)
+		}
+		masters[j.Circuit] = c
+	}
+
+	start := time.Now()
+	results := make([]JobResult, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(ctx, jobs[i], masters[jobs[i].Circuit], cfg, compile)
+			}
+		}()
+	}
+	// Feed every index even after cancellation: runJob observes ctx.Err()
+	// first thing, so unstarted jobs drain instantly with a structured
+	// cancellation error instead of a half-empty report.
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{Jobs: results}
+	rep.Stats = aggregate(results, workers, time.Since(start))
+	return rep, nil
+}
+
+func runJob(ctx context.Context, j Job, master *netlist.Circuit, cfg Config, compile CompileFunc) (res JobResult) {
+	res.Job = j
+	defer func() {
+		if r := recover(); r != nil {
+			res = JobResult{Job: j, Err: &PanicError{Value: r, Stack: string(debug.Stack())}}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("sweep: job not started: %w", err)
+		return res
+	}
+	if cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.JobTimeout)
+		defer cancel()
+	}
+	opt := j.Options()
+	if cfg.NoRetimeSolver {
+		opt.SolveRetiming = false
+	}
+	if cfg.Lint {
+		opt.Lint = true
+	}
+	begin := time.Now()
+	r, err := compile(ctx, master.Clone(), opt)
+	res.Elapsed = time.Since(begin)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Clusters = len(r.Partition.Clusters)
+	res.MaxInputs = r.Partition.MaxInputs()
+	res.Areas = r.Areas
+	res.Phases = r.Phases
+	if cfg.KeepResults {
+		res.Result = r
+	}
+	return res
+}
+
+func aggregate(results []JobResult, workers int, wall time.Duration) Stats {
+	st := Stats{Jobs: len(results), Workers: workers, Wall: wall}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			st.Failed++
+			continue
+		}
+		st.Compute += r.Elapsed
+		st.Phases.Graph += r.Phases.Graph
+		st.Phases.SCC += r.Phases.SCC
+		st.Phases.Saturate += r.Phases.Saturate
+		st.Phases.Group += r.Phases.Group
+		st.Phases.Assign += r.Phases.Assign
+		st.Phases.Retime += r.Phases.Retime
+	}
+	if wall > 0 {
+		st.JobsPerSec = float64(st.Jobs) / wall.Seconds()
+	}
+	return st
+}
+
+// LoadCircuit resolves a Job.Circuit reference: a name containing a path
+// separator or ending in ".bench" is parsed as a netlist file; anything
+// else must be a built-in benchmark (s27 or a Table 9 circuit).
+func LoadCircuit(name string) (*netlist.Circuit, error) {
+	if strings.HasSuffix(name, ".bench") || strings.ContainsRune(name, '/') || strings.ContainsRune(name, os.PathSeparator) {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(name, f)
+	}
+	return bench89.Load(name)
+}

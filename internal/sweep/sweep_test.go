@@ -1,0 +1,304 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+func testJobs() []Job {
+	return Matrix([]string{"s27", "s510"}, []int{16, 24}, []int{50}, []int64{1, 2})
+}
+
+// The determinism guarantee: the same job matrix produces byte-identical
+// deterministic reports at any worker count.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	jobs := testJobs()
+	render := func(workers int) (jsonOut, csvOut string) {
+		t.Helper()
+		rep, err := Run(context.Background(), jobs, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Stats.Failed != 0 {
+			t.Fatalf("workers=%d: %v", workers, rep.FirstErr())
+		}
+		var j, c bytes.Buffer
+		if err := rep.WriteJSON(&j, RenderOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&c, RenderOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := render(1)
+	j8, c8 := render(8)
+	if j1 != j8 {
+		t.Errorf("JSON reports differ between workers=1 and workers=8:\n--- 1\n%s\n--- 8\n%s", j1, j8)
+	}
+	if c1 != c8 {
+		t.Errorf("CSV reports differ between workers=1 and workers=8:\n--- 1\n%s\n--- 8\n%s", c1, c8)
+	}
+}
+
+// Every sweep job must price exactly like a serial single-run compilation
+// of the same (circuit, l_k, beta, seed) — the Table 10-12 equivalence.
+func TestMatchesSerialCompile(t *testing.T) {
+	jobs := testJobs()
+	rep, err := Run(context.Background(), jobs, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range rep.Jobs {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		c, err := LoadCircuit(jr.Job.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := core.Compile(context.Background(), c, jr.Job.Options())
+		if err != nil {
+			t.Fatalf("serial job %d: %v", i, err)
+		}
+		if serial.Areas != jr.Areas {
+			t.Errorf("job %d (%s): sweep areas %+v != serial %+v", i, jr.Job, jr.Areas, serial.Areas)
+		}
+		if len(serial.Partition.Clusters) != jr.Clusters {
+			t.Errorf("job %d (%s): clusters %d != serial %d", i, jr.Job, jr.Clusters, len(serial.Partition.Clusters))
+		}
+	}
+}
+
+func TestResultsInJobOrder(t *testing.T) {
+	jobs := testJobs()
+	rep, err := Run(context.Background(), jobs, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(rep.Jobs), len(jobs))
+	}
+	for i := range jobs {
+		if rep.Jobs[i].Job != jobs[i] {
+			t.Fatalf("result %d holds job %+v, want %+v", i, rep.Jobs[i].Job, jobs[i])
+		}
+	}
+}
+
+// A context cancelled before the sweep starts downgrades every job to a
+// structured context.Canceled error rather than aborting the sweep.
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, testJobs(), Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Failed != len(rep.Jobs) {
+		t.Fatalf("failed = %d, want all %d", rep.Stats.Failed, len(rep.Jobs))
+	}
+	for i, jr := range rep.Jobs {
+		if !errors.Is(jr.Err, context.Canceled) {
+			t.Errorf("job %d error = %v, want context.Canceled", i, jr.Err)
+		}
+	}
+}
+
+// Cancelling mid-sweep stops promptly: in-flight jobs observe ctx through
+// core.Compile's phase checks and unstarted jobs never compile.
+func TestCancelMidSweepStopsPromptly(t *testing.T) {
+	started := make(chan struct{}, 64)
+	block := func(ctx context.Context, c *netlist.Circuit, opt core.Options) (*core.Result, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(ctx, testJobs(), Config{Workers: 2, Compile: block})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	<-started // at least one job is in flight
+	cancel()
+	select {
+	case rep := <-done:
+		for i, jr := range rep.Jobs {
+			if !errors.Is(jr.Err, context.Canceled) {
+				t.Errorf("job %d error = %v, want context.Canceled", i, jr.Err)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep did not stop after cancellation")
+	}
+}
+
+// A panicking job becomes a *PanicError; the rest of the sweep completes.
+func TestPanicRecovery(t *testing.T) {
+	boom := func(ctx context.Context, c *netlist.Circuit, opt core.Options) (*core.Result, error) {
+		if opt.LK == 24 {
+			panic("solver corrupted")
+		}
+		return core.Compile(ctx, c, opt)
+	}
+	jobs := Matrix([]string{"s27"}, []int{16, 24}, []int{50}, []int64{1})
+	rep, err := Run(context.Background(), jobs, Config{Workers: 2, Compile: boom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", rep.Stats.Failed)
+	}
+	if rep.Jobs[0].Err != nil {
+		t.Fatalf("healthy job failed: %v", rep.Jobs[0].Err)
+	}
+	var pe *PanicError
+	if !errors.As(rep.Jobs[1].Err, &pe) {
+		t.Fatalf("job error = %v, want *PanicError", rep.Jobs[1].Err)
+	}
+	if pe.Value != "solver corrupted" || !strings.Contains(pe.Stack, "runJob") {
+		t.Errorf("panic not captured: value=%v stack has runJob=%v", pe.Value, strings.Contains(pe.Stack, "runJob"))
+	}
+}
+
+// JobTimeout caps each job with a deadline derived from the sweep context.
+func TestJobTimeout(t *testing.T) {
+	slow := func(ctx context.Context, c *netlist.Circuit, opt core.Options) (*core.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	jobs := Matrix([]string{"s27"}, []int{16}, []int{50}, []int64{1})
+	rep, err := Run(context.Background(), jobs, Config{Workers: 1, JobTimeout: 10 * time.Millisecond, Compile: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rep.Jobs[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", rep.Jobs[0].Err)
+	}
+}
+
+func TestSetupFailures(t *testing.T) {
+	if _, err := Run(context.Background(), []Job{{Circuit: "", LK: 16}}, Config{}); err == nil {
+		t.Error("empty circuit name accepted")
+	}
+	if _, err := Run(context.Background(), []Job{{Circuit: "s27", LK: 0}}, Config{}); err == nil {
+		t.Error("LK=0 accepted")
+	}
+	if _, err := Run(context.Background(), []Job{{Circuit: "no-such-circuit", LK: 16}}, Config{}); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestSpecExpand(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+		"circuits": ["small"],
+		"lks": [16],
+		"jobs": [{"circuit": "s27", "lk": 3, "seed": 7}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := jobs[len(jobs)-1]
+	if last != (Job{Circuit: "s27", LK: 3, Seed: 7}) {
+		t.Errorf("explicit job mangled: %+v", last)
+	}
+	for _, j := range jobs[:len(jobs)-1] {
+		if j.LK != 16 || j.Beta != 50 || j.Seed != 1 {
+			t.Errorf("matrix defaults not applied: %+v", j)
+		}
+	}
+	if jobs[0].Circuit != "s27" {
+		t.Errorf("small alias should start at s27, got %q", jobs[0].Circuit)
+	}
+}
+
+func TestSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec(strings.NewReader(`{"circuitz": ["s27"]}`)); err == nil {
+		t.Error("typo'd spec key accepted")
+	}
+}
+
+func TestSpecEmpty(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Expand(); err == nil {
+		t.Error("empty spec expanded to jobs")
+	}
+}
+
+func TestExpandCircuitsAll(t *testing.T) {
+	names, err := ExpandCircuits([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 18 || names[0] != "s27" || names[len(names)-1] != "s38584.1" {
+		t.Errorf("all alias expanded oddly: %v", names)
+	}
+}
+
+// Options must be copyable across jobs: compiling from a shared Options
+// value twice (as the pool does) cannot interfere via shared pointers.
+func TestJobOptionsAreValueCopies(t *testing.T) {
+	a := Job{Circuit: "s27", LK: 3, Seed: 1}.Options()
+	b := Job{Circuit: "s27", LK: 3, Seed: 1}.Options()
+	a.Flow.MinVisit = 5
+	if b.Flow.MinVisit == 5 {
+		t.Fatal("Options.Flow aliased between jobs")
+	}
+	if a.Beta != 50 {
+		t.Fatalf("zero Job.Beta should default to the paper's 50, got %d", a.Beta)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	rep, err := Run(context.Background(), testJobs(), Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stats
+	if st.Jobs != 8 || st.Failed != 0 || st.Workers != 4 {
+		t.Fatalf("stats header wrong: %+v", st)
+	}
+	if st.Wall <= 0 || st.Compute <= 0 || st.JobsPerSec <= 0 {
+		t.Fatalf("timing stats missing: %+v", st)
+	}
+	phaseSum := st.Phases.Graph + st.Phases.SCC + st.Phases.Saturate + st.Phases.Group + st.Phases.Assign + st.Phases.Retime
+	if phaseSum <= 0 || phaseSum > st.Compute*2 {
+		t.Fatalf("phase totals odd: %+v vs compute %v", st.Phases, st.Compute)
+	}
+}
+
+func TestKeepResults(t *testing.T) {
+	jobs := Matrix([]string{"s27"}, []int{3}, []int{50}, []int64{1})
+	rep, err := Run(context.Background(), jobs, Config{Workers: 1, KeepResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs[0].Result == nil || rep.Jobs[0].Result.Partition == nil {
+		t.Fatal("KeepResults did not retain the compilation")
+	}
+	rep, err = Run(context.Background(), jobs, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs[0].Result != nil {
+		t.Fatal("Result retained without KeepResults")
+	}
+}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -120,11 +121,12 @@ func Check(c *netlist.Circuit, g *graph.G, cg *retime.CombGraph, rho []int, cycl
 }
 
 // CheckCompile is a convenience wrapper: build the comb graph for a
-// circuit, solve the retiming for the given cut nets, and check it.
-func CheckCompile(c *netlist.Circuit, g *graph.G, cuts map[int]bool, cycles int, seed int64) (*Report, *retime.Solution, error) {
+// circuit, solve the retiming for the given cut nets, and check it. The
+// context cancels the retiming solve.
+func CheckCompile(ctx context.Context, c *netlist.Circuit, g *graph.G, cuts map[int]bool, cycles int, seed int64) (*Report, *retime.Solution, error) {
 	cg := retime.Build(g)
 	cg.SetRequirements(cuts)
-	sol, err := retime.Solve(cg, cuts, nil)
+	sol, err := retime.Solve(ctx, cg, cuts, nil)
 	if err != nil {
 		return nil, nil, err
 	}

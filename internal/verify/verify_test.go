@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -118,7 +119,7 @@ func TestSolvedRetimingEquivalentS27(t *testing.T) {
 		}
 	}
 	cg.SetRequirements(cuts)
-	sol, err := retime.Solve(cg, cuts, nil)
+	sol, err := retime.Solve(context.Background(), cg, cuts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestPipelineRetimingEquivalent(t *testing.T) {
 		}
 	}
 	cg.SetRequirements(cuts)
-	sol, err := retime.Solve(cg, cuts, nil)
+	sol, err := retime.Solve(context.Background(), cg, cuts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestRandomRetimingsEquivalent(t *testing.T) {
 			}
 		}
 		cg.SetRequirements(cuts)
-		sol, err := retime.Solve(cg, cuts, nil)
+		sol, err := retime.Solve(context.Background(), cg, cuts, nil)
 		if err != nil {
 			return false
 		}
@@ -240,7 +241,7 @@ func TestCheckCompile(t *testing.T) {
 			cuts[e] = true
 		}
 	}
-	rep, sol, err := CheckCompile(c, g, cuts, 64, 1)
+	rep, sol, err := CheckCompile(context.Background(), c, g, cuts, 64, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
