@@ -21,12 +21,17 @@
 //
 // Sweep mode batch-compiles a (circuit × l_k × beta × seed) job matrix
 // across a bounded worker pool; one command reproduces the paper's whole
-// Table 10-12 experiment. Ctrl-C cancels the sweep promptly; `-timeout`
-// bounds it; exit status is 1 when any job failed.
+// Table 10-12 experiment. Jobs sharing a (circuit, seed) prefix reuse one
+// cached parse/analyze/saturate computation and branch at partitioning
+// (`-no-cache` disables the reuse, `-cache-stats` reports it; combined
+// with `-lint`, the netlist design rules run once per circuit, not once
+// per job). Ctrl-C cancels the sweep promptly; `-timeout` bounds it; exit
+// status is 1 when any job failed.
 //
 //	merced -sweep
 //	merced -sweep -circuits all -lks 16,24 -workers 8 -format csv
 //	merced -sweep -spec jobs.json -timeout 10m -format json -no-timing
+//	merced -sweep -circuits all -lks 16,24 -betas 25,50,100 -cache-stats
 package main
 
 import (
@@ -72,11 +77,27 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "with -sweep: per-job deadline (0: none)")
 	format := flag.String("format", "text", "with -sweep: output format (text, json, csv)")
 	noTiming := flag.Bool("no-timing", false, "with -sweep: omit wall-clock fields for byte-reproducible output")
+	cacheStats := flag.Bool("cache-stats", false, "with -sweep: report artifact-cache hits/misses/evictions per stage")
+	noCache := flag.Bool("no-cache", false, "with -sweep: disable shared-prefix artifact reuse (every job compiles from scratch)")
 	flag.Parse()
 
 	if *lintRules {
 		printRuleCatalog(*jsonOut, os.Stdout)
 		return
+	}
+	// -sweep wins over -lint: the combination means "gate every sweep job
+	// on the design rules", with the netlist layer linted once per shared
+	// Parsed artifact rather than once per job.
+	if *doSweep {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		code := runSweep(ctx, sweepRun{
+			spec: *sweepSpec, circuits: *circuits, lks: *lks, betas: *betas, seeds: *seeds,
+			workers: *workers, timeout: *timeout, jobTimeout: *jobTimeout,
+			noRetime: *noRetime, lint: *doLint, format: *format, noTiming: *noTiming,
+			cacheStats: *cacheStats, noCache: *noCache,
+		}, os.Stdout, os.Stderr)
+		stop()
+		os.Exit(code)
 	}
 	if *doLint {
 		os.Exit(runLint(lintRun{
@@ -84,16 +105,6 @@ func main() {
 			lk: *lk, beta: *beta, seed: *seed, noRetime: *noRetime,
 			jsonOut: *jsonOut, threshold: *lintSeverity,
 		}, os.Stdout, os.Stderr))
-	}
-	if *doSweep {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		code := runSweep(ctx, sweepRun{
-			spec: *sweepSpec, circuits: *circuits, lks: *lks, betas: *betas, seeds: *seeds,
-			workers: *workers, timeout: *timeout, jobTimeout: *jobTimeout,
-			noRetime: *noRetime, format: *format, noTiming: *noTiming,
-		}, os.Stdout, os.Stderr)
-		stop()
-		os.Exit(code)
 	}
 
 	c, err := loadCircuit(*file, *circuit)

@@ -23,8 +23,11 @@ type sweepRun struct {
 	timeout    time.Duration // whole-sweep deadline (0: none)
 	jobTimeout time.Duration // per-job deadline (0: none)
 	noRetime   bool
+	lint       bool   // gate every job on the design rules (-lint -sweep)
 	format     string // text, json, csv
 	noTiming   bool   // deterministic output: omit wall-clock fields
+	cacheStats bool   // report per-stage artifact-cache counters
+	noCache    bool   // disable shared-prefix artifact reuse
 }
 
 // runSweep executes the batch mode and returns the process exit code: 0
@@ -45,12 +48,14 @@ func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
 		Workers:        cfg.workers,
 		JobTimeout:     cfg.jobTimeout,
 		NoRetimeSolver: cfg.noRetime,
+		Lint:           cfg.lint,
+		NoCache:        cfg.noCache,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	opts := sweep.RenderOptions{Timing: !cfg.noTiming}
+	opts := sweep.RenderOptions{Timing: !cfg.noTiming, CacheStats: cfg.cacheStats}
 	switch cfg.format {
 	case "", "text":
 		err = rep.WriteText(stdout, opts)

@@ -267,7 +267,7 @@ func Generate(spec Spec, seed int64) (*netlist.Circuit, error) {
 		}
 	}
 
-	if err := c.Validate(); err != nil {
+	if err := c.Finalize(); err != nil {
 		return nil, err
 	}
 	return c, nil

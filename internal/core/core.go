@@ -157,9 +157,12 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// flowConfig resolves Options.Flow: the zero value selects the paper
+// FlowConfig resolves Options.Flow: the zero value selects the paper
 // defaults seeded from Options.Seed; a partially set config has its zero
-// Capacity/Alpha/Delta fields filled with the paper defaults.
+// Capacity/Alpha/Delta fields filled with the paper defaults. Stage
+// drivers use the resolved config as part of the Saturated artifact key.
+func (o Options) FlowConfig() flow.Config { return o.flowConfig() }
+
 func (o Options) flowConfig() flow.Config {
 	if o.Flow == (flow.Config{}) {
 		return flow.DefaultConfig(o.Seed)
@@ -177,8 +180,11 @@ func (o Options) flowConfig() flow.Config {
 	return fcfg
 }
 
-// Compile runs the full Merced pipeline of Table 2 on the circuit. The
-// context cancels the compilation: it is checked between phases and
+// Compile runs the full Merced pipeline of Table 2 on the circuit. It is a
+// thin driver over the staged artifact pipeline of stages.go — NewParsed →
+// Analyze → SaturateNetwork → MakePartition → Price — computing every stage
+// fresh; batch drivers reuse cached stage artifacts via CompileFrom instead.
+// The context cancels the compilation: it is checked between phases and
 // propagated into the Saturate_Network and retiming-solver loops, so a
 // cancelled or expired ctx aborts promptly with an error wrapping ctx.Err().
 func Compile(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, error) {
@@ -195,8 +201,6 @@ func Compile(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, err
 		opt.Beta = 1
 	}
 	start := time.Now()
-	var ph Phases
-	mark := start
 
 	// STEP 0 (optional): netlist design rules, before any stage can choke
 	// on a malformed circuit.
@@ -208,101 +212,33 @@ func Compile(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, err
 		}
 	}
 
-	// STEP 1: graph representation.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: building graph: %w", err)
-	}
-	g, err := graph.FromCircuit(c)
+	// Parse (normalization happens here, once) and STEPs 1-2.
+	p, err := NewParsed(c)
 	if err != nil {
 		return nil, fmt.Errorf("core: building graph: %w", err)
 	}
-	ph.Graph, mark = lap(mark)
-
-	// STEP 2: strongly connected components.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: SCC: %w", err)
+	a, err := Analyze(ctx, p)
+	if err != nil {
+		return nil, err
 	}
-	scc := g.SCC()
-	ph.SCC, mark = lap(mark)
 
 	// STEP 3a: Saturate_Network.
-	fres, err := flow.Saturate(ctx, g, opt.flowConfig())
+	s, err := SaturateNetwork(ctx, a, opt.flowConfig())
 	if err != nil {
-		return nil, fmt.Errorf("core: saturate network: %w", err)
+		return nil, err
 	}
-	ph.Saturate, mark = lap(mark)
 
-	// STEP 3b: Make_Group under the input constraint and Eq. (6) budget.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: make group: %w", err)
-	}
-	d := append([]float64(nil), fres.D...)
-	pres, err := partition.MakeGroup(g, scc, d, partition.Options{LK: opt.LK, Beta: opt.Beta, Locked: opt.Locked})
-	if err != nil {
-		return nil, fmt.Errorf("core: make group: %w", err)
-	}
-	ph.Group, mark = lap(mark)
-
-	// STEP 3c: Assign_CBIT greedy merging, plus the optional boundary
-	// refinement pass.
-	var merges []partition.MergeTrace
-	if !opt.SkipAssign {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: assign CBIT: %w", err)
-		}
-		merges, err = partition.AssignCBIT(pres, opt.LK)
-		if err != nil {
-			return nil, fmt.Errorf("core: assign CBIT: %w", err)
-		}
-		if opt.RefinePasses > 0 {
-			partition.Refine(pres, opt.LK, opt.RefinePasses)
+	// STEPs 3b-3c and pricing, plus the artifact-layer lint gate.
+	res, err := finish(ctx, s, opt, lintDiags)
+	if res != nil {
+		res.Phases.Graph = a.GraphTime
+		res.Phases.SCC = a.SCCTime
+		res.Phases.Saturate = s.SaturateTime
+		if err == nil {
+			res.Elapsed = time.Since(start)
 		}
 	}
-	ph.Assign, mark = lap(mark)
-
-	res := &Result{
-		Circuit:   c,
-		Graph:     g,
-		SCC:       scc,
-		Flow:      fres,
-		Partition: pres,
-		Merges:    merges,
-	}
-	if opt.SolveRetiming {
-		limit := opt.MaxSolveNodes
-		if limit == 0 {
-			limit = 300000
-		}
-		if g.NumNodes() <= limit {
-			sol, cg, err := solveRetiming(ctx, g, pres, fres)
-			if err != nil {
-				return nil, fmt.Errorf("core: retiming solver: %w", err)
-			}
-			res.Retiming = sol
-			res.CombGraph = cg
-		}
-	}
-	ph.Retime, mark = lap(mark)
-	_ = mark
-	res.Areas = priceAreas(c, g, scc, pres, res.Retiming)
-	res.Phases = ph
-
-	// The artifact-layer lint gate: a violated partition invariant or an
-	// illegal retiming here means the area figures are fiction.
-	if opt.Lint {
-		ctx := &lint.Context{
-			File: c.Name, Circuit: c, Graph: g, SCC: scc,
-			Partition: pres, Retiming: res.Retiming, CombGraph: res.CombGraph,
-			LK: opt.LK, Beta: opt.Beta,
-		}
-		diags := lint.RunLayer(ctx, lint.LayerPartition)
-		res.Lint = append(lintDiags, diags...)
-		if lint.HasAtLeast(diags, lint.Error) {
-			return res, &LintError{Stage: "partition", Diags: diags}
-		}
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, err
 }
 
 func lap(since time.Time) (time.Duration, time.Time) {

@@ -209,7 +209,7 @@ func Testable(res *core.Result) (*netlist.Circuit, *Info, error) {
 	mustAdd(out, ScanOut, netlist.Buf, sin)
 	out.Outputs[len(out.Outputs)-1] = ScanOut
 
-	if err := out.Validate(); err != nil {
+	if err := out.Finalize(); err != nil {
 		return nil, nil, fmt.Errorf("emit: emitted netlist invalid: %w", err)
 	}
 	info.AddedArea = out.Area() - baseArea

@@ -53,7 +53,7 @@ func InjectNetlist(c *netlist.Circuit, f sim.Fault) (*netlist.Circuit, error) {
 	for _, po := range c.Outputs {
 		out.AddOutput(sub(po))
 	}
-	if err := out.Validate(); err != nil {
+	if err := out.Finalize(); err != nil {
 		return nil, fmt.Errorf("fault: injected netlist invalid: %w", err)
 	}
 	return out, nil

@@ -31,7 +31,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			return nil, fmt.Errorf("line %d: %w", st.Line, err)
 		}
 	}
-	if err := c.Validate(); err != nil {
+	if err := c.Finalize(); err != nil {
 		return nil, err
 	}
 	return c, nil

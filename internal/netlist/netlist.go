@@ -189,10 +189,12 @@ func (c *Circuit) NumGates() int {
 	return n
 }
 
-// Validate checks structural sanity: every fanin and output is driven by a
-// gate or primary input, and fanin arities are legal. It also (re)builds the
-// fanout lists.
-func (c *Circuit) Validate() error {
+// Normalize (re)derives the fanout lists from the fanin declarations. It is
+// the only operation that writes the derived state, so a circuit that has
+// been normalized once — ParseBench and Clone both guarantee it — can be
+// shared read-only across goroutines. Fanin references to signals with no
+// driver are skipped here; Validate reports them.
+func (c *Circuit) Normalize() {
 	for _, g := range c.Gates {
 		g.fanout = g.fanout[:0]
 	}
@@ -201,11 +203,28 @@ func (c *Circuit) Validate() error {
 			if c.inputSet[in] {
 				continue
 			}
-			d, ok := c.byName[in]
-			if !ok {
+			if d, ok := c.byName[in]; ok {
+				d.fanout = append(d.fanout, g.Name)
+			}
+		}
+	}
+}
+
+// Validate checks structural sanity: every fanin and output is driven by a
+// gate or primary input, and fanin arities are legal. It is a pure checker —
+// it never mutates the circuit — so any number of goroutines may validate
+// (and compile) the same circuit concurrently. Builders that assemble
+// circuits by hand should call Finalize (or Normalize) to derive the fanout
+// lists; parsing and cloning already do.
+func (c *Circuit) Validate() error {
+	for _, g := range c.Gates {
+		for _, in := range g.Fanin {
+			if c.inputSet[in] {
+				continue
+			}
+			if _, ok := c.byName[in]; !ok {
 				return fmt.Errorf("netlist: %s %q reads undriven signal %q", g.Type, g.Name, in)
 			}
-			d.fanout = append(d.fanout, g.Name)
 		}
 	}
 	for _, out := range c.Outputs {
@@ -218,7 +237,15 @@ func (c *Circuit) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the circuit.
+// Finalize normalizes the derived fanout state and validates: the one call a
+// programmatic circuit builder needs before handing the circuit to readers.
+func (c *Circuit) Finalize() error {
+	c.Normalize()
+	return c.Validate()
+}
+
+// Clone returns a deep copy of the circuit, including the derived fanout
+// lists.
 func (c *Circuit) Clone() *Circuit {
 	n := New(c.Name)
 	n.Inputs = append([]string(nil), c.Inputs...)
@@ -228,6 +255,9 @@ func (c *Circuit) Clone() *Circuit {
 	}
 	for _, g := range c.Gates {
 		ng := &Gate{Name: g.Name, Type: g.Type, Fanin: append([]string(nil), g.Fanin...)}
+		if len(g.fanout) > 0 {
+			ng.fanout = append([]string(nil), g.fanout...)
+		}
 		n.Gates = append(n.Gates, ng)
 		n.byName[ng.Name] = ng
 	}

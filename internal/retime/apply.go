@@ -169,7 +169,7 @@ func Apply(c *netlist.Circuit, g *graph.G, cg *CombGraph, rho []int) (*netlist.C
 	for _, pc := range poConns {
 		out.AddOutput(tap(pc.driver, pc.need))
 	}
-	if err := out.Validate(); err != nil {
+	if err := out.Finalize(); err != nil {
 		return nil, fmt.Errorf("retime: materialised netlist invalid: %w", err)
 	}
 	return out, nil

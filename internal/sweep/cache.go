@@ -1,0 +1,153 @@
+package sweep
+
+// This file is the sweep engine's shared-prefix artifact cache. The staged
+// core pipeline (core.Parsed → Analyzed → Saturated) is a pure function of
+// (circuit, seed, flow.Config) — none of the per-job knobs (l_k, β, refine)
+// enter before MakePartition — so a sweep matrix that crosses one circuit
+// with many downstream coordinates can compute the expensive prefix once
+// and branch at partitioning. The cache is:
+//
+//   - singleflight: the first job to request a key computes it while every
+//     concurrent requester blocks on the same entry, so a stage is computed
+//     exactly once no matter how many workers race for it;
+//   - bounded: least-recently-used ready entries are evicted once the entry
+//     count exceeds the capacity (in-flight computations are never evicted);
+//   - error-transparent: a failed computation is handed to its waiters but
+//     never cached, so a job cancelled mid-saturate cannot poison later
+//     jobs that share the key.
+
+import "sync"
+
+// cacheStage identifies which pipeline stage an entry (and its statistics)
+// belongs to.
+type cacheStage int
+
+const (
+	stageParsed cacheStage = iota
+	stageAnalyzed
+	stageSaturated
+)
+
+// StageStats counts cache outcomes for one pipeline stage. A "hit" is a
+// lookup that found an entry (including one still being computed by another
+// job — the requester shares the result without redoing the work); a "miss"
+// is a lookup that had to compute.
+type StageStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// CacheStats reports the artifact cache's per-stage effectiveness for a
+// finished sweep; `merced -sweep -cache-stats` surfaces it.
+type CacheStats struct {
+	Parsed    StageStats `json:"parsed"`
+	Analyzed  StageStats `json:"analyzed"`
+	Saturated StageStats `json:"saturated"`
+	// Entries and Capacity describe the cache's final occupancy and bound.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// DefaultCacheEntries bounds the artifact cache when Config.CacheEntries is
+// unset: comfortably above the distinct (circuit, seed) prefixes of a
+// Tables 10-12 sweep, small enough that pathological matrices stay bounded.
+const DefaultCacheEntries = 256
+
+type cacheEntry struct {
+	// ready is closed once val/err are final.
+	ready   chan struct{}
+	val     any
+	err     error
+	stage   cacheStage
+	lastUse int64
+}
+
+// artifactCache is the bounded singleflight store behind a sweep run.
+type artifactCache struct {
+	mu      sync.Mutex
+	cap     int
+	gen     int64
+	entries map[string]*cacheEntry
+	stats   [3]StageStats
+}
+
+func newArtifactCache(capacity int) *artifactCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &artifactCache{cap: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// getOrCompute returns the cached value for key, computing it with fn on a
+// miss. computed reports whether this call ran fn — callers use it to
+// attribute the stage's cost to exactly one job. On error the entry is
+// dropped so a later request recomputes.
+func (c *artifactCache) getOrCompute(st cacheStage, key string, fn func() (any, error)) (val any, computed bool, err error) {
+	c.mu.Lock()
+	c.gen++
+	if e, ok := c.entries[key]; ok {
+		e.lastUse = c.gen
+		c.stats[st].Hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, false, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{}), stage: st, lastUse: c.gen}
+	c.entries[key] = e
+	c.stats[st].Misses++
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Never cache failures: a context-cancelled computation must not
+		// decide the fate of jobs that arrive with a live context.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+	} else {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return e.val, true, e.err
+}
+
+// evictLocked drops least-recently-used ready entries until the bound
+// holds. In-flight entries are skipped — evicting one would strand waiters.
+func (c *artifactCache) evictLocked() {
+	for len(c.entries) > c.cap {
+		var victimKey string
+		var victim *cacheEntry
+		for k, e := range c.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still computing
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return // everything in flight; bound temporarily exceeded
+		}
+		delete(c.entries, victimKey)
+		c.stats[victim.stage].Evictions++
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *artifactCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Parsed:    c.stats[stageParsed],
+		Analyzed:  c.stats[stageAnalyzed],
+		Saturated: c.stats[stageSaturated],
+		Entries:   len(c.entries),
+		Capacity:  c.cap,
+	}
+}

@@ -22,6 +22,11 @@ type RenderOptions struct {
 	// These are non-deterministic; leave Timing false when the output
 	// must be reproducible byte-for-byte.
 	Timing bool
+	// CacheStats includes the artifact cache's per-stage hit/miss/eviction
+	// counters (JSON "cache" object, text trailer). Counter totals are
+	// deterministic for a given matrix as long as the cache never evicts,
+	// so the flag composes with Timing=false.
+	CacheStats bool
 }
 
 type jobJSON struct {
@@ -58,16 +63,25 @@ type statsJSON struct {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+func stageStatsString(s StageStats) string {
+	return fmt.Sprintf("%dh/%dm/%de", s.Hits, s.Misses, s.Evictions)
+}
+
 // WriteJSON renders the report as indented JSON: a "jobs" array in input
 // order plus a "stats" object. Timing fields appear only under
 // opts.Timing.
 func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 	out := struct {
-		Jobs  []jobJSON `json:"jobs"`
-		Stats statsJSON `json:"stats"`
+		Jobs  []jobJSON   `json:"jobs"`
+		Stats statsJSON   `json:"stats"`
+		Cache *CacheStats `json:"cache,omitempty"`
 	}{
 		Jobs:  make([]jobJSON, 0, len(r.Jobs)),
 		Stats: statsJSON{Jobs: r.Stats.Jobs, Failed: r.Stats.Failed},
+	}
+	if opts.CacheStats {
+		cache := r.Cache
+		out.Cache = &cache
 	}
 	for i := range r.Jobs {
 		jr := &r.Jobs[i]
@@ -145,6 +159,14 @@ func (r *Report) WriteText(w io.Writer, opts RenderOptions) error {
 	st := r.Stats
 	if _, err := fmt.Fprintf(w, "\n%d jobs, %d failed\n", st.Jobs, st.Failed); err != nil {
 		return err
+	}
+	if opts.CacheStats {
+		cs := r.Cache
+		if _, err := fmt.Fprintf(w, "artifact cache (%d/%d entries): parsed %s, analyzed %s, saturated %s\n",
+			cs.Entries, cs.Capacity,
+			stageStatsString(cs.Parsed), stageStatsString(cs.Analyzed), stageStatsString(cs.Saturated)); err != nil {
+			return err
+		}
 	}
 	if !opts.Timing {
 		return nil

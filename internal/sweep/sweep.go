@@ -7,17 +7,22 @@
 //
 //   - bounded parallelism (default runtime.NumCPU workers),
 //   - context cancellation and deadline propagation into every pipeline
-//     phase of every job (via core.Compile's ctx),
+//     phase of every job (via the staged core pipeline's ctx),
 //   - per-job panic recovery that downgrades a crashed job to a structured
 //     *PanicError instead of killing the sweep,
 //   - deterministic results: job i's outcome lands at Report.Jobs[i]
-//     regardless of worker count or scheduling, and each job compiles its
-//     own clone of the circuit so the shared master stays pristine,
-//   - aggregated per-phase timing and throughput statistics.
+//     regardless of worker count or scheduling; phase artifacts are
+//     immutable, so jobs share them without cloning the circuit,
+//   - shared-prefix reuse: parse/analyze/saturate are functions of
+//     (circuit, seed, flow.Config) only, so jobs differing in l_k/β reuse
+//     one cached core.Saturated artifact and branch at partitioning (see
+//     cache.go),
+//   - aggregated per-phase timing, throughput, and cache statistics.
 package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -83,10 +88,23 @@ type Config struct {
 	// KeepResults retains each job's full *core.Result (graphs, partitions,
 	// retiming labels). Off by default: a Table 10-12 sweep only needs the
 	// summary, and full results for thousands of jobs would pin memory.
+	// Retained results share the immutable prefix artifacts (circuit,
+	// graph, SCC, flow) with other jobs of the same (circuit, seed) —
+	// treat them as read-only.
 	KeepResults bool
+	// NoCache disables shared-prefix artifact reuse: every job runs the
+	// whole pipeline itself via core.Compile. The reports are byte-
+	// identical either way (a test and a CI step pin that); the switch
+	// exists for A/B benchmarking and as an escape hatch.
+	NoCache bool
+	// CacheEntries bounds the artifact cache; <= 0 means
+	// DefaultCacheEntries.
+	CacheEntries int
 	// Load resolves Job.Circuit to a netlist; nil means LoadCircuit.
 	Load func(name string) (*netlist.Circuit, error)
-	// Compile runs one job; nil means core.Compile.
+	// Compile runs one job; nil means the staged cached pipeline (or
+	// core.Compile under NoCache). The hook receives the shared normalized
+	// circuit — it must not mutate it.
 	Compile CompileFunc
 }
 
@@ -149,6 +167,11 @@ func (s Stats) Speedup() float64 {
 type Report struct {
 	Jobs  []JobResult
 	Stats Stats
+	// Cache reports the shared-prefix artifact cache's per-stage hits,
+	// misses, and evictions. Under Config.NoCache the analyzed and
+	// saturated counters stay zero; the parsed counters always reflect
+	// the circuit preload, which deduplicates through the cache.
+	Cache CacheStats
 }
 
 // FirstErr returns the first failed job's error, or nil when every job
@@ -178,10 +201,6 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	if load == nil {
 		load = LoadCircuit
 	}
-	compile := cfg.Compile
-	if compile == nil {
-		compile = core.Compile
-	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -203,18 +222,24 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 
 	// Preload each distinct circuit once, serially, so load failures are
 	// deterministic and the expensive benchmark generators run once per
-	// name. Workers clone the pristine master per job (Compile mutates
-	// fanout caches on its input).
-	masters := make(map[string]*netlist.Circuit, len(jobs))
+	// name. The core.Parsed artifact is normalized at construction and
+	// immutable afterwards, so workers share it directly — no per-job
+	// clone. Loading goes through the cache purely so the parsed-stage
+	// hit/miss counters reflect the matrix shape.
+	cache := newArtifactCache(cfg.CacheEntries)
+	masters := make(map[string]*core.Parsed, len(jobs))
 	for i, j := range jobs {
-		if _, ok := masters[j.Circuit]; ok {
-			continue
-		}
-		c, err := load(j.Circuit)
+		v, _, err := cache.getOrCompute(stageParsed, "parsed:"+j.Circuit, func() (any, error) {
+			c, err := load(j.Circuit)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewParsed(c)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("sweep: job %d: loading circuit %q: %w", i, j.Circuit, err)
 		}
-		masters[j.Circuit] = c
+		masters[j.Circuit] = v.(*core.Parsed)
 	}
 
 	start := time.Now()
@@ -226,7 +251,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(ctx, jobs[i], masters[jobs[i].Circuit], cfg, compile)
+				results[i] = runJob(ctx, jobs[i], masters[jobs[i].Circuit], cache, cfg)
 			}
 		}()
 	}
@@ -241,10 +266,11 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 
 	rep := &Report{Jobs: results}
 	rep.Stats = aggregate(results, workers, time.Since(start))
+	rep.Cache = cache.Stats()
 	return rep, nil
 }
 
-func runJob(ctx context.Context, j Job, master *netlist.Circuit, cfg Config, compile CompileFunc) (res JobResult) {
+func runJob(ctx context.Context, j Job, master *core.Parsed, cache *artifactCache, cfg Config) (res JobResult) {
 	res.Job = j
 	defer func() {
 		if r := recover(); r != nil {
@@ -268,7 +294,19 @@ func runJob(ctx context.Context, j Job, master *netlist.Circuit, cfg Config, com
 		opt.Lint = true
 	}
 	begin := time.Now()
-	r, err := compile(ctx, master.Clone(), opt)
+	var r *core.Result
+	var err error
+	switch {
+	case cfg.Compile != nil:
+		r, err = cfg.Compile(ctx, master.Circuit(), opt)
+	case cfg.NoCache:
+		// Compile normalizes its circuit in place, so the from-scratch
+		// path clones the shared master (exactly what every job did
+		// before the staged pipeline existed).
+		r, err = core.Compile(ctx, master.Circuit().Clone(), opt)
+	default:
+		r, err = compileStaged(ctx, master, cache, opt)
+	}
 	res.Elapsed = time.Since(begin)
 	if err != nil {
 		res.Err = err
@@ -282,6 +320,55 @@ func runJob(ctx context.Context, j Job, master *netlist.Circuit, cfg Config, com
 		res.Result = r
 	}
 	return res
+}
+
+// compileStaged runs one job over the staged pipeline, reusing cached
+// analyze/saturate artifacts for the job's (circuit, seed, flow) prefix and
+// branching at partitioning via core.CompileFrom. The shared-stage phase
+// timings are attributed only to the job that actually computed the stage,
+// so aggregated phase totals measure real work, not double-counted reuse.
+func compileStaged(ctx context.Context, p *core.Parsed, cache *artifactCache, opt core.Options) (*core.Result, error) {
+	av, computedA, err := cacheStagedArtifact(ctx, cache, stageAnalyzed, p.AnalyzeKey(), func() (any, error) {
+		return core.Analyze(ctx, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := av.(*core.Analyzed)
+
+	fcfg := opt.FlowConfig()
+	sv, computedS, err := cacheStagedArtifact(ctx, cache, stageSaturated, a.SaturateKey(fcfg), func() (any, error) {
+		return core.SaturateNetwork(ctx, a, fcfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := sv.(*core.Saturated)
+
+	r, err := core.CompileFrom(ctx, s, opt)
+	if r != nil {
+		if computedA {
+			r.Phases.Graph, r.Phases.SCC = a.GraphTime, a.SCCTime
+		}
+		if computedS {
+			r.Phases.Saturate = s.SaturateTime
+		}
+	}
+	return r, err
+}
+
+// cacheStagedArtifact wraps artifactCache.getOrCompute with one retry rule:
+// when a *shared* computation fails with another job's cancellation while
+// this job's own context is still live, request again (the failed entry was
+// dropped, so the retry recomputes under this job's context).
+func cacheStagedArtifact(ctx context.Context, cache *artifactCache, st cacheStage, key string, fn func() (any, error)) (any, bool, error) {
+	for {
+		v, computed, err := cache.getOrCompute(st, key, fn)
+		if err == nil || computed || ctx.Err() != nil ||
+			!(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return v, computed, err
+		}
+	}
 }
 
 func aggregate(results []JobResult, workers int, wall time.Duration) Stats {
