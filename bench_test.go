@@ -349,6 +349,11 @@ func BenchmarkMISRStep(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkFaultSimulation measures the serial single-segment API on one
+// s510 cluster; BenchmarkFaultCampaign measures its whole-partition
+// successor, fault.Campaign, which packs every cluster's collapsed faults
+// into triaged batches across a worker pool (see also the seed-vs-engine
+// comparison pair in internal/fault/campaign_bench_test.go).
 func BenchmarkFaultSimulation(b *testing.B) {
 	c := loadB(b, "s510")
 	r := compileB(b, "s510", 8)
@@ -366,6 +371,22 @@ func BenchmarkFaultSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := fault.Simulate(sg, faults, fault.Options{Seed: 1}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultCampaign(b *testing.B) {
+	c := loadB(b, "s510")
+	r := compileB(b, "s510", 8)
+	opt := fault.CampaignOptions{Seed: 1, Workers: 4, Collapse: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fault.Campaign(context.Background(), c, r.Partition, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Detected == 0 {
+			b.Fatal("campaign detected nothing")
 		}
 	}
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// coverRun bundles the flag values cover mode consumes.
+type coverRun struct {
+	file, circuit string
+	lk, beta      int
+	seed          int64
+	noRetime      bool
+	maxPatterns   uint64 // per-fault pattern cap (0: full pseudo-exhaustive)
+	workers       int    // campaign worker pool (0: GOMAXPROCS)
+	noCollapse    bool   // disable structural fault collapsing
+	undetected    bool   // list surviving faults in the text form
+	format        string // text, json, csv
+	noTiming      bool   // deterministic output: omit wall-clock fields
+}
+
+// runCover compiles the circuit, fault-simulates every cluster of the
+// partition through the parallel campaign engine, and renders the coverage
+// report. It is the whole of `merced -cover`, factored for testability;
+// the exit code is 0 on success, 1 on any failure.
+func runCover(ctx context.Context, cr coverRun, stdout, stderr io.Writer) int {
+	c, err := loadCircuit(cr.file, cr.circuit)
+	if err != nil {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	opt := core.DefaultOptions(cr.lk, cr.seed)
+	opt.Beta = cr.beta
+	opt.SolveRetiming = !cr.noRetime
+	r, err := core.Compile(ctx, c, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	rep, err := fault.Campaign(ctx, c, r.Partition, fault.CampaignOptions{
+		MaxPatterns: cr.maxPatterns,
+		Seed:        cr.seed,
+		Workers:     cr.workers,
+		Collapse:    !cr.noCollapse,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	opts := fault.RenderOptions{Timing: !cr.noTiming, Undetected: cr.undetected}
+	switch cr.format {
+	case "", "text":
+		err = rep.WriteText(stdout, opts)
+	case "json":
+		err = rep.WriteJSON(stdout, opts)
+	case "csv":
+		err = rep.WriteCSV(stdout, opts)
+	default:
+		fmt.Fprintf(stderr, "merced: unknown -format %q (want text, json, or csv)\n", cr.format)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	return 0
+}

@@ -25,21 +25,42 @@
 // cached parse/analyze/saturate computation and branch at partitioning
 // (`-no-cache` disables the reuse, `-cache-stats` reports it; combined
 // with `-lint`, the netlist design rules run once per circuit, not once
-// per job). Ctrl-C cancels the sweep promptly; `-timeout` bounds it; exit
-// status is 1 when any job failed.
+// per job). `-coverage` additionally fault-simulates each job's partition
+// and attaches a "coverage" block to the JSON report. Ctrl-C cancels the
+// sweep promptly; `-timeout` bounds it; exit status is 1 when any job
+// failed.
 //
 //	merced -sweep
 //	merced -sweep -circuits all -lks 16,24 -workers 8 -format csv
 //	merced -sweep -spec jobs.json -timeout 10m -format json -no-timing
 //	merced -sweep -circuits all -lks 16,24 -betas 25,50,100 -cache-stats
+//	merced -sweep -circuits small -coverage -format json -no-timing
+//
+// Cover mode runs the parallel fault-coverage campaign over one circuit's
+// partition: every cluster's single stuck-at faults, packed 63 per batch,
+// fanned over `-workers` goroutines with structural collapsing and
+// two-stage fault dropping. The report (text, JSON, or CSV via `-format`)
+// is byte-identical for any worker count when `-no-timing` is set.
+//
+//	merced -cover -circuit s510 -lk 8
+//	merced -cover -circuit s1423 -lk 12 -workers 8 -format json -no-timing
+//	merced -cover -circuit s27 -lk 3 -max-patterns 4096 -undetected
+//
+// The profiling flags `-cpuprofile` and `-memprofile` write pprof profiles
+// covering whichever mode ran:
+//
+//	merced -cover -circuit s1423 -lk 12 -cpuprofile cover.pprof
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/bench89"
@@ -72,89 +93,176 @@ func main() {
 	lks := flag.String("lks", "16,24", "with -sweep: comma-separated l_k values")
 	betas := flag.String("betas", "50", "with -sweep: comma-separated beta values")
 	seeds := flag.String("seeds", "1", "with -sweep: comma-separated seeds")
-	workers := flag.Int("workers", 0, "with -sweep: worker pool size (0: NumCPU)")
+	workers := flag.Int("workers", 0, "with -sweep/-cover: worker pool size (0: NumCPU)")
 	timeout := flag.Duration("timeout", 0, "with -sweep: whole-sweep deadline (0: none)")
 	jobTimeout := flag.Duration("job-timeout", 0, "with -sweep: per-job deadline (0: none)")
-	format := flag.String("format", "text", "with -sweep: output format (text, json, csv)")
-	noTiming := flag.Bool("no-timing", false, "with -sweep: omit wall-clock fields for byte-reproducible output")
+	format := flag.String("format", "text", "with -sweep/-cover: output format (text, json, csv)")
+	noTiming := flag.Bool("no-timing", false, "with -sweep/-cover: omit wall-clock fields for byte-reproducible output")
 	cacheStats := flag.Bool("cache-stats", false, "with -sweep: report artifact-cache hits/misses/evictions per stage")
 	noCache := flag.Bool("no-cache", false, "with -sweep: disable shared-prefix artifact reuse (every job compiles from scratch)")
+	sweepCoverage := flag.Bool("coverage", false, "with -sweep: fault-simulate each job's partition and report coverage")
+	doCover := flag.Bool("cover", false, "run the parallel fault-coverage campaign instead of a single report")
+	maxPatterns := flag.Uint64("max-patterns", 0, "with -cover/-sweep -coverage: per-fault pattern cap (0: full pseudo-exhaustive budget)")
+	noCollapse := flag.Bool("no-collapse", false, "with -cover: disable structural fault-equivalence collapsing")
+	undetected := flag.Bool("undetected", false, "with -cover: list surviving faults in the text report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *lintRules {
 		printRuleCatalog(*jsonOut, os.Stdout)
 		return
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merced:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	var code int
+	switch {
 	// -sweep wins over -lint: the combination means "gate every sweep job
 	// on the design rules", with the netlist layer linted once per shared
 	// Parsed artifact rather than once per job.
-	if *doSweep {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		code := runSweep(ctx, sweepRun{
+	case *doSweep:
+		code = runSweep(ctx, sweepRun{
 			spec: *sweepSpec, circuits: *circuits, lks: *lks, betas: *betas, seeds: *seeds,
 			workers: *workers, timeout: *timeout, jobTimeout: *jobTimeout,
 			noRetime: *noRetime, lint: *doLint, format: *format, noTiming: *noTiming,
 			cacheStats: *cacheStats, noCache: *noCache,
+			coverage: *sweepCoverage, coverageMaxPatterns: *maxPatterns,
 		}, os.Stdout, os.Stderr)
-		stop()
-		os.Exit(code)
-	}
-	if *doLint {
-		os.Exit(runLint(lintRun{
+	case *doLint:
+		code = runLint(lintRun{
 			file: *file, circuit: *circuit,
 			lk: *lk, beta: *beta, seed: *seed, noRetime: *noRetime,
 			jsonOut: *jsonOut, threshold: *lintSeverity,
-		}, os.Stdout, os.Stderr))
+		}, os.Stdout, os.Stderr)
+	case *doCover:
+		code = runCover(ctx, coverRun{
+			file: *file, circuit: *circuit,
+			lk: *lk, beta: *beta, seed: *seed, noRetime: *noRetime,
+			maxPatterns: *maxPatterns, workers: *workers,
+			noCollapse: *noCollapse, undetected: *undetected,
+			format: *format, noTiming: *noTiming,
+		}, os.Stdout, os.Stderr)
+	default:
+		code = runReport(ctx, reportRun{
+			file: *file, circuit: *circuit,
+			lk: *lk, beta: *beta, seed: *seed,
+			verbose: *verbose, noRetime: *noRetime, minPeriod: *minPeriod,
+			emitPath: *emitPath,
+		}, os.Stdout, os.Stderr)
 	}
-
-	c, err := loadCircuit(*file, *circuit)
-	if err != nil {
-		fatal(err)
-	}
-	opt := core.DefaultOptions(*lk, *seed)
-	opt.Beta = *beta
-	opt.SolveRetiming = !*noRetime
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	r, err := core.Compile(ctx, c, opt)
 	stop()
-	if err != nil {
-		fatal(err)
-	}
-	printReport(c, r, *lk, *verbose)
+	stopProfiles()
+	os.Exit(code)
+}
 
-	if *minPeriod {
+// startProfiles turns on the requested pprof collection and returns the
+// function that flushes it. Profile teardown must run before os.Exit —
+// which skips deferred calls — so main invokes the returned stop
+// explicitly on every path.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "merced:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "merced:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
+// reportRun bundles the flag values the default report mode consumes.
+type reportRun struct {
+	file, circuit string
+	lk, beta      int
+	seed          int64
+	verbose       bool
+	noRetime      bool
+	minPeriod     bool
+	emitPath      string
+}
+
+// runReport is the default single-compilation mode, factored so the
+// profiling teardown in main runs even on failure paths.
+func runReport(ctx context.Context, rr reportRun, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "merced:", err)
+		return 1
+	}
+	c, err := loadCircuit(rr.file, rr.circuit)
+	if err != nil {
+		return fail(err)
+	}
+	opt := core.DefaultOptions(rr.lk, rr.seed)
+	opt.Beta = rr.beta
+	opt.SolveRetiming = !rr.noRetime
+
+	r, err := core.Compile(ctx, c, opt)
+	if err != nil {
+		return fail(err)
+	}
+	printReport(stdout, c, r, rr.lk, rr.verbose)
+
+	if rr.minPeriod {
 		cg := retime.Build(r.Graph)
 		zero := make([]int, len(cg.Vertices))
 		p0, err := cg.Period(zero)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		_, p, err := retime.MinimizePeriod(cg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("clock period (unit gate delays): %d as designed, %d after min-period retiming\n", p0, p)
+		fmt.Fprintf(stdout, "clock period (unit gate delays): %d as designed, %d after min-period retiming\n", p0, p)
 	}
 
-	if *emitPath != "" {
+	if rr.emitPath != "" {
 		tc, info, err := emit.Testable(r)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		f, err := os.Create(*emitPath)
+		f, err := os.Create(rr.emitPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := tc.WriteBench(f); err != nil {
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("emitted %s: %d converted registers, %d multiplexed cells, %d boundary cells, scan chain of %d, +%.0f area units\n",
-			*emitPath, info.Converted, info.Multiplexed-info.Boundary, info.Boundary, len(info.ScanOrder), info.AddedArea)
+		fmt.Fprintf(stdout, "emitted %s: %d converted registers, %d multiplexed cells, %d boundary cells, scan chain of %d, +%.0f area units\n",
+			rr.emitPath, info.Converted, info.Multiplexed-info.Boundary, info.Boundary, len(info.ScanOrder), info.AddedArea)
 	}
+	return 0
 }
 
 func loadCircuit(file, name string) (*netlist.Circuit, error) {
@@ -173,29 +281,29 @@ func loadCircuit(file, name string) (*netlist.Circuit, error) {
 	}
 }
 
-func printReport(c *netlist.Circuit, r *core.Result, lk int, verbose bool) {
-	fmt.Printf("Merced BIST compiler — %s\n", c)
-	fmt.Printf("l_k=%d: %d clusters, max inputs %d, %d cut nets (%d on SCCs)\n",
+func printReport(w io.Writer, c *netlist.Circuit, r *core.Result, lk int, verbose bool) {
+	fmt.Fprintf(w, "Merced BIST compiler — %s\n", c)
+	fmt.Fprintf(w, "l_k=%d: %d clusters, max inputs %d, %d cut nets (%d on SCCs)\n",
 		lk, len(r.Partition.Clusters), r.Partition.MaxInputs(),
 		r.Areas.CutNets, r.Areas.CutNetsOnSCC)
-	fmt.Printf("flip-flops: %d total, %d on SCCs\n", r.Areas.DFFs, r.Areas.DFFsOnSCC)
-	fmt.Printf("flow: %d shortest-path trees; group split passes: %d; %d merges\n",
+	fmt.Fprintf(w, "flip-flops: %d total, %d on SCCs\n", r.Areas.DFFs, r.Areas.DFFsOnSCC)
+	fmt.Fprintf(w, "flow: %d shortest-path trees; group split passes: %d; %d merges\n",
 		r.Flow.Trees, r.Partition.BoundarySteps, len(r.Merges))
 	if r.Retiming != nil {
-		fmt.Printf("retiming: %d cut nets covered by repositioned registers, %d need multiplexed A_CELLs (%d solver rounds)\n",
+		fmt.Fprintf(w, "retiming: %d cut nets covered by repositioned registers, %d need multiplexed A_CELLs (%d solver rounds)\n",
 			len(r.Retiming.Covered), len(r.Retiming.Demoted), r.Retiming.Iterations)
 	}
-	fmt.Printf("CBIT area: %.0f units with retiming vs %.0f without (circuit %.0f)\n",
+	fmt.Fprintf(w, "CBIT area: %.0f units with retiming vs %.0f without (circuit %.0f)\n",
 		r.Areas.CBITAreaRetimed, r.Areas.CBITAreaNonRetimed, r.Areas.CircuitArea)
-	fmt.Printf("A_CBIT/A_Total: %.1f%% with retiming, %.1f%% without (saving %.1f points)\n",
+	fmt.Fprintf(w, "A_CBIT/A_Total: %.1f%% with retiming, %.1f%% without (saving %.1f points)\n",
 		r.Areas.RatioRetimed, r.Areas.RatioNonRetimed, r.Areas.Saving())
 
 	if plan, err := ppet.BuildPlan(r.Partition); err == nil {
 		pipes := ppet.Pipes(r.Partition)
-		fmt.Printf("testing time: 2^%d = %.0f clock cycles across %d test pipes (widest CBIT dominates); serial PET would need %.0f (%.1fx)\n",
+		fmt.Fprintf(w, "testing time: 2^%d = %.0f clock cycles across %d test pipes (widest CBIT dominates); serial PET would need %.0f (%.1fx)\n",
 			plan.MaxWidth, plan.TotalTime, len(pipes), ppet.PETTime(plan), plan.SpeedUp())
 	}
-	fmt.Printf("compile time: %v (saturate %v, group %v, assign %v, retime %v)\n",
+	fmt.Fprintf(w, "compile time: %v (saturate %v, group %v, assign %v, retime %v)\n",
 		r.Elapsed, r.Phases.Saturate, r.Phases.Group, r.Phases.Assign, r.Phases.Retime)
 
 	if !verbose {
@@ -203,30 +311,25 @@ func printReport(c *netlist.Circuit, r *core.Result, lk int, verbose bool) {
 	}
 	t := report.NewTable("\nClusters", "ID", "cells", "inputs", "CBIT type", "CBIT area")
 	for _, cl := range r.Partition.Clusters {
-		w, ok := cbit.TypeFor(cl.Inputs())
+		w2, ok := cbit.TypeFor(cl.Inputs())
 		typ, area := "-", 0.0
 		if ok {
-			typ = fmt.Sprintf("%d-bit", w)
-			area = cbit.Area(w)
+			typ = fmt.Sprintf("%d-bit", w2)
+			area = cbit.Area(w2)
 		}
 		t.AddRowf(cl.ID, len(cl.Nodes), cl.Inputs(), typ, area)
 	}
-	_ = t.Write(os.Stdout)
+	_ = t.Write(w)
 
 	if verbose && len(r.Partition.Clusters) <= 12 {
-		fmt.Println("\nCluster membership:")
+		fmt.Fprintln(w, "\nCluster membership:")
 		for _, cl := range r.Partition.Clusters {
 			names := make([]string, 0, len(cl.Nodes))
 			for _, v := range cl.Nodes {
 				names = append(names, r.Graph.Nodes[v].Name)
 			}
 			sort.Strings(names)
-			fmt.Printf("  %d: %v\n", cl.ID, names)
+			fmt.Fprintf(w, "  %d: %v\n", cl.ID, names)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "merced:", err)
-	os.Exit(1)
 }

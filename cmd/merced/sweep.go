@@ -28,6 +28,12 @@ type sweepRun struct {
 	noTiming   bool   // deterministic output: omit wall-clock fields
 	cacheStats bool   // report per-stage artifact-cache counters
 	noCache    bool   // disable shared-prefix artifact reuse
+
+	// coverage runs a fault-coverage campaign per compiled job and adds a
+	// "coverage" block/column to the report; coverageMaxPatterns caps each
+	// campaign's per-fault pattern budget (0: full pseudo-exhaustive).
+	coverage            bool
+	coverageMaxPatterns uint64
 }
 
 // runSweep executes the batch mode and returns the process exit code: 0
@@ -45,11 +51,13 @@ func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 	rep, err := sweep.Run(ctx, jobs, sweep.Config{
-		Workers:        cfg.workers,
-		JobTimeout:     cfg.jobTimeout,
-		NoRetimeSolver: cfg.noRetime,
-		Lint:           cfg.lint,
-		NoCache:        cfg.noCache,
+		Workers:             cfg.workers,
+		JobTimeout:          cfg.jobTimeout,
+		NoRetimeSolver:      cfg.noRetime,
+		Lint:                cfg.lint,
+		NoCache:             cfg.noCache,
+		Coverage:            cfg.coverage,
+		CoverageMaxPatterns: cfg.coverageMaxPatterns,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "merced:", err)

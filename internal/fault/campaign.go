@@ -1,0 +1,392 @@
+package fault
+
+// Campaign is the parallel fault-coverage engine: the full single-stuck-at
+// campaign of a partitioned circuit — every cluster, every (optionally
+// collapsed) fault, packed 63 lanes per batch — fanned over a bounded
+// worker pool. The paper's headline claim is that each segment with
+// <= l_k inputs is tested exhaustively and all segments concurrently;
+// this engine is how the repo verifies that claim on whole benchmarks
+// instead of one cluster at a time.
+//
+// The engine drops faults in two tiers:
+//
+//   - within a batch, cycling stops as soon as all lanes have diverged
+//     from the fault-free lane (no pattern is applied to a fully detected
+//     batch);
+//   - across batches, a cheap triage stage runs every batch for a small
+//     pattern prefix first; the (typically few) surviving faults are then
+//     repacked densely into far fewer batches for the full pseudo-
+//     exhaustive budget. Detected faults are never re-simulated, and when
+//     triage already reaches 100% coverage the escalation stage vanishes —
+//     the whole campaign exits early.
+//
+// Determinism contract: batch composition follows the List order, every
+// batch derives its LFSR seeds from (Options.Seed, stage, job index) alone,
+// and results aggregate in job order. Reports are therefore byte-identical
+// for any Workers value, which the race-enabled tests and CI pin.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// DefaultTriagePatterns is the per-fault pattern budget of the triage
+// stage: long enough to detect the easy majority of faults, short enough
+// to stay well under the full pseudo-exhaustive budget of typical l_k
+// values (2^8-1 patterns x4 sessions at l_k=8), so batches holding a
+// hard-to-detect or redundant fault stop cheaply in stage one instead of
+// dragging their 62 batch-mates through the whole budget. Coverage is
+// unaffected: every survivor gets the full budget in the escalation stage.
+const DefaultTriagePatterns = 128
+
+// CampaignOptions tunes a whole-partition campaign.
+type CampaignOptions struct {
+	// MaxPatterns caps the per-fault pattern budget; 0 means the full
+	// pseudo-exhaustive sequence 2^inputs - 1 (capped at 2^20), times 4
+	// for sequential segments, exactly as Options.MaxPatterns.
+	MaxPatterns uint64
+	// Seed drives every LFSR seed of the campaign.
+	Seed int64
+	// WarmUp cycles run before detection comparisons start in each session.
+	WarmUp int
+	// Workers bounds the batch worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Collapse applies structural fault-equivalence collapsing before
+	// simulation; coverage is still reported over the full uncollapsed
+	// list (a collapsed fault is detected iff its representative is).
+	Collapse bool
+	// TriagePatterns is the stage-one per-fault budget; 0 means
+	// DefaultTriagePatterns. Budgets at or below the triage budget skip
+	// the escalation stage entirely.
+	TriagePatterns uint64
+}
+
+// SegmentCoverage is one cluster's campaign outcome.
+type SegmentCoverage struct {
+	Cluster int
+	Cells   int
+	Inputs  int
+	Outputs int
+	DFFs    int
+	// Simulated counts the representative faults actually simulated
+	// (equals Total unless Collapse dropped equivalent faults).
+	Simulated int
+	Coverage
+}
+
+// CampaignReport aggregates a whole-partition campaign.
+type CampaignReport struct {
+	// Segments holds the per-cluster outcomes in partition order.
+	Segments []SegmentCoverage
+	// Total/Detected/Simulated aggregate the whole campaign.
+	Total     int
+	Detected  int
+	Simulated int
+	// Batches counts simulated batches across both stages; TriageBatches
+	// of them were triage, the rest escalation.
+	Batches       int
+	TriageBatches int
+	Workers       int
+	Elapsed       time.Duration
+}
+
+// Ratio returns the aggregate detected/total (1.0 when empty).
+func (r *CampaignReport) Ratio() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// campaignSegment is one cluster's compiled simulation unit.
+type campaignSegment struct {
+	cluster *partition.Cluster
+	sg      *sim.Segment
+	faults  []sim.Fault // full List order
+	reps    []sim.Fault // simulated representatives (== faults unless collapsed)
+	repIdx  []int       // fault position -> index into reps (nil when not collapsed)
+	budget  uint64      // full per-fault pattern budget
+	det     []bool      // per-rep detected flag, filled by the stages
+}
+
+// batchJob is one pool work unit: a slice of representatives of one
+// segment at one budget. seq is the deterministic seed-stream index;
+// sessions caps the re-seeded session count (0 = segment default).
+type batchJob struct {
+	seg      int
+	reps     []int // indices into campaignSegment.reps
+	budget   uint64
+	seq      uint64
+	sessions int
+}
+
+// Campaign fault-simulates every cluster of the partition r of circuit c.
+// The report is deterministic for fixed options — independent of Workers
+// and scheduling — and the error is the first batch error in job order
+// (an error wrapping ctx.Err() when the campaign was cancelled).
+func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt CampaignOptions) (*CampaignReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	triage := opt.TriagePatterns
+	if triage == 0 {
+		triage = DefaultTriagePatterns
+	}
+
+	// Build every segment up front, serially: construction is cheap
+	// relative to simulation and a build error should fail the campaign
+	// before any cycles are spent.
+	segs := make([]*campaignSegment, len(r.Clusters))
+	var collapser *Collapser
+	if opt.Collapse {
+		collapser = NewCollapser(c)
+	}
+	for i, cl := range r.Clusters {
+		inputs := make([]int, 0, len(cl.InputNets))
+		for e := range cl.InputNets {
+			inputs = append(inputs, e)
+		}
+		sg, err := sim.BuildSegment(c, r.G, cl.Nodes, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("fault: cluster %d: %w", cl.ID, err)
+		}
+		cs := &campaignSegment{
+			cluster: cl,
+			sg:      sg,
+			faults:  List(sg),
+			budget:  patternBudget(sg.NumInputs(), sg.NumDFFs(), opt.MaxPatterns),
+		}
+		cs.reps = cs.faults
+		if opt.Collapse {
+			cs.reps, cs.repIdx = collapser.CollapseIndexed(sg, cs.faults)
+		}
+		cs.det = make([]bool, len(cs.reps))
+		segs[i] = cs
+	}
+
+	// Stage one: triage every representative at the (clamped) triage
+	// budget. Segments whose full budget already fits inside the triage
+	// budget are final after this stage and run their normal session
+	// schedule; true triage batches run a single session — their survivors
+	// get the full multi-session treatment on escalation, so this only
+	// trims the cost of finding the easy majority.
+	maxReps := 0
+	for _, cs := range segs {
+		if len(cs.reps) > maxReps {
+			maxReps = len(cs.reps)
+		}
+	}
+	allIdx := make([]int, maxReps) // shared 0..n-1 identity, sliced per batch
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+	var jobs []batchJob
+	var seq uint64
+	for si, cs := range segs {
+		b := cs.budget
+		sess := 0
+		if b > triage {
+			b = triage
+			sess = 1
+		}
+		for lo := 0; lo < len(cs.reps); lo += 63 {
+			hi := lo + 63
+			if hi > len(cs.reps) {
+				hi = len(cs.reps)
+			}
+			jobs = append(jobs, batchJob{seg: si, reps: allIdx[lo:hi], budget: b, seq: seq, sessions: sess})
+			seq++
+		}
+	}
+	rep := &CampaignReport{Workers: workers}
+	rep.TriageBatches = len(jobs)
+	if err := runBatchPool(ctx, segs, jobs, workers, opt); err != nil {
+		return nil, err
+	}
+	rep.Batches = len(jobs)
+
+	// Stage two: repack the survivors of segments that still have budget
+	// left and escalate to the full pseudo-exhaustive budget. Dropped
+	// (detected) faults are never re-simulated; at 100% triage coverage
+	// this stage has no jobs and the campaign exits early.
+	jobs = jobs[:0]
+	for si, cs := range segs {
+		if cs.budget <= triage {
+			continue // triage was already the full budget
+		}
+		var survivors []int
+		for ri, d := range cs.det {
+			if !d {
+				survivors = append(survivors, ri)
+			}
+		}
+		for lo := 0; lo < len(survivors); lo += 63 {
+			hi := lo + 63
+			if hi > len(survivors) {
+				hi = len(survivors)
+			}
+			jobs = append(jobs, batchJob{seg: si, reps: survivors[lo:hi], budget: cs.budget, seq: seq})
+			seq++
+		}
+	}
+	if len(jobs) > 0 {
+		if err := runBatchPool(ctx, segs, jobs, workers, opt); err != nil {
+			return nil, err
+		}
+		rep.Batches += len(jobs)
+	}
+
+	// Aggregate in partition order, expanding collapsed classes back to
+	// the full fault list.
+	for _, cs := range segs {
+		sc := SegmentCoverage{
+			Cluster:   cs.cluster.ID,
+			Cells:     len(cs.cluster.Nodes),
+			Inputs:    cs.sg.NumInputs(),
+			Outputs:   cs.sg.NumOutputs(),
+			DFFs:      cs.sg.NumDFFs(),
+			Simulated: len(cs.reps),
+		}
+		sc.Total = len(cs.faults)
+		sc.Patterns = cs.budget
+		for fi, f := range cs.faults {
+			ri := fi // uncollapsed: faults == reps positionally
+			if cs.repIdx != nil {
+				ri = cs.repIdx[fi]
+			}
+			if cs.det[ri] {
+				sc.Detected++
+			} else {
+				sc.Undetected = append(sc.Undetected, f)
+			}
+		}
+		rep.Segments = append(rep.Segments, sc)
+		rep.Total += sc.Total
+		rep.Detected += sc.Detected
+		rep.Simulated += sc.Simulated
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// runBatchPool executes the jobs across the worker pool, marking detected
+// representatives in each segment's det slice. Batch outcomes depend only
+// on the job itself (segment, rep set, budget, seq), so det is identical
+// for any worker count; distinct jobs never share det entries, making the
+// concurrent writes race-free. The returned error is the first failing
+// job's error in job order.
+func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob, workers int, opt CampaignOptions) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var batchBuf [63]sim.Fault // per-worker batch assembly buffer
+			// One env slot per worker: a segment's jobs are contiguous, so
+			// the slot rarely turns over, and each worker keeps at most one
+			// segment's scratch live. (A per-segment env map pins
+			// workers x segments large arrays for the whole stage, which
+			// shows up as GC assist time at high worker counts.)
+			var env *batchEnv
+			envSeg := -1
+			defer func() {
+				if env != nil {
+					env.release()
+				}
+			}()
+			for i := range idx {
+				j := &jobs[i]
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("fault: batch %d not started: %w", j.seq, err)
+					continue
+				}
+				cs := segs[j.seg]
+				if envSeg != j.seg {
+					if env != nil {
+						env.release()
+					}
+					env = newBatchEnv(cs.sg)
+					envSeg = j.seg
+				}
+				batch := batchBuf[:0]
+				for _, ri := range j.reps {
+					batch = append(batch, cs.reps[ri])
+				}
+				// Session seeds come from a splitmix64 stream keyed by
+				// (campaign seed, job sequence): deterministic, decorrelated,
+				// and far cheaper than seeding a math/rand source per job.
+				sm := splitmix64(mixSeed(opt.Seed, j.seq))
+				detected, err := env.runBatch(ctx, batch, j.budget, opt.WarmUp, j.sessions, sm.next)
+				if err != nil {
+					errs[i] = fmt.Errorf("fault: cluster %d batch %d: %w", cs.cluster.ID, j.seq, err)
+					continue
+				}
+				for k, ri := range j.reps {
+					if detected&(1<<uint(k+1)) != 0 {
+						cs.det[ri] = true
+					}
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mixSeed derives a batch-local seed from the campaign seed and the
+// deterministic job sequence number (splitmix64 finalizer), so batches are
+// decorrelated yet independent of scheduling.
+func mixSeed(seed int64, seq uint64) uint64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(seq+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// splitmix64 is the per-job session-seed stream: the standard splitmix64
+// generator, good enough for LFSR seed choice and three orders of
+// magnitude cheaper to construct than a math/rand source.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

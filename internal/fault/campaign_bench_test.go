@@ -1,0 +1,413 @@
+package fault
+
+// Campaign benchmarks: the serial seed path versus the parallel campaign
+// engine on s510 and s1423. The seed path is transcribed faithfully from
+// the pre-engine code (per-gate evalGate type switch over fanin slices,
+// per-segment mutable force masks, a fresh state allocation per session,
+// no collapsing, no triage); `go test -bench Campaign ./internal/fault`
+// is what CI records into BENCH_cover.json, and the acceptance bar is
+// BenchmarkCampaignParallel at 8 workers beating BenchmarkCampaignSeedSerial
+// by >= 3x on s1423.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/cbit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// --- seed-path reference implementation (do not optimise) ---
+
+type refOp struct {
+	typ   netlist.GateType
+	out   int
+	fanin []int
+}
+
+type refDFF struct{ out, in int }
+
+// refSeg mirrors the seed Segment: gate list walked through a per-gate
+// type switch, mutable force masks living on the segment itself.
+type refSeg struct {
+	names          []string
+	index          map[string]int
+	inputs         []int
+	outputs        []int
+	ops            []refOp
+	dffs           []refDFF
+	force0, force1 []uint64
+}
+
+func buildRefSeg(c *netlist.Circuit, g *graph.G, nodes []int, inputNets []int) (*refSeg, error) {
+	sg := &refSeg{index: make(map[string]int)}
+	inCluster := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		inCluster[v] = true
+	}
+	idx := func(name string) int {
+		if i, ok := sg.index[name]; ok {
+			return i
+		}
+		i := len(sg.names)
+		sg.index[name] = i
+		sg.names = append(sg.names, name)
+		return i
+	}
+	ins := append([]int(nil), inputNets...)
+	sort.Ints(ins)
+	external := make(map[string]bool)
+	for _, e := range ins {
+		name := g.Nets[e].Name
+		external[name] = true
+		sg.inputs = append(sg.inputs, idx(name))
+	}
+	segNodes := append([]int(nil), nodes...)
+	sort.Ints(segNodes)
+	var pend []*netlist.Gate
+	for _, v := range segNodes {
+		gt := c.Gate(g.Nodes[v].Name)
+		if gt == nil {
+			return nil, fmt.Errorf("node %q not in circuit", g.Nodes[v].Name)
+		}
+		if gt.Type == netlist.DFF {
+			sg.dffs = append(sg.dffs, refDFF{out: idx(gt.Name), in: idx(gt.Fanin[0])})
+		} else {
+			pend = append(pend, gt)
+		}
+	}
+	ready := make(map[int]bool)
+	for _, i := range sg.inputs {
+		ready[i] = true
+	}
+	for _, d := range sg.dffs {
+		ready[d.out] = true
+	}
+	internalOut := make(map[string]bool)
+	for _, p := range pend {
+		internalOut[p.Name] = true
+	}
+	for _, d := range sg.dffs {
+		internalOut[sg.names[d.out]] = true
+	}
+	for _, p := range pend {
+		for _, f := range p.Fanin {
+			if !external[f] && !internalOut[f] {
+				ready[idx(f)] = true
+			}
+		}
+	}
+	for _, d := range sg.dffs {
+		if f := sg.names[d.in]; !external[f] && !internalOut[f] {
+			ready[d.in] = true
+		}
+	}
+	// The seed's repeated-rescan ready-set sort, verbatim: the benchmark
+	// measures simulation, not compilation, so its quadratic shape is
+	// irrelevant here.
+	for len(pend) > 0 {
+		progressed := false
+		rest := pend[:0]
+		for _, p := range pend {
+			ok := true
+			for _, f := range p.Fanin {
+				if i, exists := sg.index[f]; !exists || !ready[i] {
+					if internalOut[f] || external[f] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				rest = append(rest, p)
+				continue
+			}
+			fanin := make([]int, len(p.Fanin))
+			for i, f := range p.Fanin {
+				fanin[i] = idx(f)
+			}
+			out := idx(p.Name)
+			sg.ops = append(sg.ops, refOp{typ: p.Type, out: out, fanin: fanin})
+			ready[out] = true
+			progressed = true
+		}
+		pend = rest
+		if !progressed {
+			return nil, fmt.Errorf("combinational cycle at %q", pend[0].Name)
+		}
+	}
+	for _, v := range segNodes {
+		for _, e := range g.Out[v] {
+			net := &g.Nets[e]
+			for _, s := range net.Sinks {
+				if !inCluster[s] {
+					sg.outputs = append(sg.outputs, idx(net.Name))
+					break
+				}
+			}
+		}
+	}
+	sort.Ints(sg.outputs)
+	sg.force0 = make([]uint64, len(sg.names))
+	sg.force1 = make([]uint64, len(sg.names))
+	return sg, nil
+}
+
+// refEvalGate is the seed per-gate interpreter.
+func refEvalGate(t netlist.GateType, fanin []int, v []uint64) uint64 {
+	switch t {
+	case netlist.And, netlist.Nand:
+		r := ^uint64(0)
+		for _, f := range fanin {
+			r &= v[f]
+		}
+		if t == netlist.Nand {
+			return ^r
+		}
+		return r
+	case netlist.Or, netlist.Nor:
+		r := uint64(0)
+		for _, f := range fanin {
+			r |= v[f]
+		}
+		if t == netlist.Nor {
+			return ^r
+		}
+		return r
+	case netlist.Xor, netlist.Xnor:
+		r := uint64(0)
+		for _, f := range fanin {
+			r ^= v[f]
+		}
+		if t == netlist.Xnor {
+			return ^r
+		}
+		return r
+	case netlist.Not:
+		return ^v[fanin[0]]
+	case netlist.Buf, netlist.DFF:
+		return v[fanin[0]]
+	case netlist.Mux:
+		sel := v[fanin[0]]
+		return (v[fanin[1]] &^ sel) | (v[fanin[2]] & sel)
+	}
+	return 0
+}
+
+func (sg *refSeg) clearFaults() {
+	for i := range sg.force0 {
+		sg.force0[i] = 0
+		sg.force1[i] = 0
+	}
+}
+
+func (sg *refSeg) inject(f sim.Fault, lane int) error {
+	i, ok := sg.index[f.Signal]
+	if !ok {
+		return fmt.Errorf("unknown signal %q", f.Signal)
+	}
+	if f.Stuck1 {
+		sg.force1[i] |= 1 << uint(lane)
+	} else {
+		sg.force0[i] |= 1 << uint(lane)
+	}
+	return nil
+}
+
+func (sg *refSeg) cycle(v []uint64, pattern uint64, out []uint64) {
+	for i, sig := range sg.inputs {
+		var w uint64
+		if pattern&(1<<uint(i)) != 0 {
+			w = ^uint64(0)
+		}
+		v[sig] = (w &^ sg.force0[sig]) | sg.force1[sig]
+	}
+	for i := range sg.ops {
+		op := &sg.ops[i]
+		r := refEvalGate(op.typ, op.fanin, v)
+		v[op.out] = (r &^ sg.force0[op.out]) | sg.force1[op.out]
+	}
+	for i, sig := range sg.outputs {
+		out[i] = v[sig]
+	}
+	for i := range sg.dffs {
+		d := &sg.dffs[i]
+		nv := v[d.in]
+		v[d.out] = (nv &^ sg.force0[d.out]) | sg.force1[d.out]
+	}
+}
+
+// refSimulate is the seed Simulate loop, verbatim modulo the refSeg
+// receiver: no collapsing, no triage, batch early exit only, a fresh state
+// allocation per session.
+func refSimulate(sg *refSeg, faults []sim.Fault, seed int64) (int, error) {
+	inputs := len(sg.inputs)
+	patterns := patternBudget(inputs, len(sg.dffs), 0)
+	width := inputs
+	if width < cbit.MinWidth {
+		width = cbit.MinWidth
+	}
+	if width > cbit.MaxWidth {
+		width = cbit.MaxWidth
+	}
+	rng := rand.New(rand.NewSource(seed))
+	outs := make([]uint64, len(sg.outputs))
+	total := 0
+	for start := 0; start < len(faults); start += 63 {
+		end := start + 63
+		if end > len(faults) {
+			end = len(faults)
+		}
+		batch := faults[start:end]
+		sg.clearFaults()
+		for i, f := range batch {
+			if err := sg.inject(f, i+1); err != nil {
+				return total, err
+			}
+		}
+		sessions := 1
+		if len(sg.dffs) > 0 {
+			sessions = 4
+		}
+		perSession := patterns / uint64(sessions)
+		if perSession == 0 {
+			perSession = 1
+		}
+		var detected uint64
+		allLanes := laneMask(len(batch))
+		for s := 0; s < sessions && detected != allLanes; s++ {
+			tpg, err := cbit.New(width)
+			if err != nil {
+				return total, err
+			}
+			sd := rng.Uint64()
+			if sd&tpgMask(width) == 0 {
+				sd = 1
+			}
+			if err := tpg.SetState(sd); err != nil {
+				return total, err
+			}
+			v := make([]uint64, len(sg.names))
+			for p := uint64(0); p < perSession && detected != allLanes; p++ {
+				sg.cycle(v, tpg.StepTPG(), outs)
+				for _, w := range outs {
+					ref := w & 1
+					var refw uint64
+					if ref != 0 {
+						refw = ^uint64(0)
+					}
+					detected |= (w ^ refw) & allLanes
+				}
+			}
+		}
+		for i := range batch {
+			if detected&(1<<uint(i+1)) != 0 {
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+// --- benchmarks ---
+
+func benchPartitionB(b *testing.B, name string, lk int) (*netlist.Circuit, *partition.Result) {
+	b.Helper()
+	c, err := bench89.Load(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.Compile(context.Background(), c, core.DefaultOptions(lk, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, r.Partition
+}
+
+// benchCampaignCircuits pins the benchmark operating points: s510 at the
+// paper's small l_k as a fast smoke point, and s1423 at l_k=12 — a
+// realistic BIST budget (4x(2^12-1) patterns per sequential segment) where
+// simulation dominates segment construction. At tiny l_k both paths spend
+// most of their time building segments for a few thousand cycles each, so
+// a comparison there measures compilation, not the campaign engine.
+var benchCampaignCircuits = []struct {
+	name string
+	lk   int
+}{
+	{"s510", 8},
+	{"s1423", 12},
+}
+
+// BenchmarkCampaignSeedSerial runs the transcribed seed whole-suite
+// coverage flow, exactly as examples/faultcoverage did it per run: build
+// every cluster's segment, enumerate its faults, and fault-simulate it
+// serially through the per-gate interpreter. The campaign engine replaces
+// this whole loop, so construction is part of the measured work on both
+// sides.
+func BenchmarkCampaignSeedSerial(b *testing.B) {
+	for _, bc := range benchCampaignCircuits {
+		b.Run(bc.name, func(b *testing.B) {
+			c, p := benchPartitionB(b, bc.name, bc.lk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det := 0
+				for _, cl := range p.Clusters {
+					inputs := make([]int, 0, len(cl.InputNets))
+					for e := range cl.InputNets {
+						inputs = append(inputs, e)
+					}
+					rsg, err := buildRefSeg(c, p.G, cl.Nodes, inputs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					faults := make([]sim.Fault, 0, 2*len(rsg.names))
+					sigs := append([]string(nil), rsg.names...)
+					sort.Strings(sigs)
+					for _, s := range sigs {
+						faults = append(faults,
+							sim.Fault{Signal: s, Stuck1: false}, sim.Fault{Signal: s, Stuck1: true})
+					}
+					d, err := refSimulate(rsg, faults, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					det += d
+				}
+				if det == 0 {
+					b.Fatal("seed path detected nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignParallel runs the engine at 1 and 8 workers with
+// collapsing and triage on — the production `-cover` configuration.
+func BenchmarkCampaignParallel(b *testing.B) {
+	for _, bc := range benchCampaignCircuits {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s-w%d", bc.name, workers), func(b *testing.B) {
+				c, p := benchPartitionB(b, bc.name, bc.lk)
+				opt := CampaignOptions{Seed: 1, Workers: workers, Collapse: true}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := Campaign(context.Background(), c, p, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Detected == 0 {
+						b.Fatal("campaign detected nothing")
+					}
+				}
+			})
+		}
+	}
+}

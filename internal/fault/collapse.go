@@ -18,62 +18,140 @@ import (
 // same coverage verdicts at lower cost. The mapping from representative to
 // its equivalence class is returned for reporting.
 func Collapse(c *netlist.Circuit, sg *sim.Segment, faults []sim.Fault) (reps []sim.Fault, classes map[sim.Fault][]sim.Fault) {
-	classes = make(map[sim.Fault][]sim.Fault)
+	return NewCollapser(c).Collapse(sg, faults)
+}
 
-	// find follows inverter/buffer/register chains forward while the
-	// driven signal has exactly one fanout, flipping polarity through
-	// inverters. It stops at signals the segment does not know.
-	known := map[string]bool{}
-	for _, s := range sg.Signals() {
-		known[s] = true
-	}
-	var find func(f sim.Fault, depth int) sim.Fault
-	find = func(f sim.Fault, depth int) sim.Fault {
-		if depth > 64 {
-			return f
-		}
-		g := c.Gate(f.Signal)
-		var fanout []string
-		if g != nil {
-			fanout = g.Fanout()
-		} else if c.IsInput(f.Signal) {
-			fanout = inputFanout(c, f.Signal)
-		}
-		if len(fanout) != 1 {
-			return f
-		}
-		next := c.Gate(fanout[0])
-		if next == nil || !known[next.Name] {
-			return f
-		}
-		switch next.Type {
-		case netlist.Not:
-			return find(sim.Fault{Signal: next.Name, Stuck1: !f.Stuck1}, depth+1)
-		case netlist.Buf, netlist.DFF:
-			return find(sim.Fault{Signal: next.Name, Stuck1: f.Stuck1}, depth+1)
-		default:
-			return f
-		}
-	}
+// Collapser amortizes the circuit-wide precomputation (primary-input
+// fanout) across many Collapse calls; a whole-partition campaign collapses
+// one segment per cluster against the same circuit.
+type Collapser struct {
+	c     *netlist.Circuit
+	inFan map[string][]string
+}
 
-	seen := map[sim.Fault]sim.Fault{}
-	for _, f := range faults {
-		rep := find(f, 0)
-		if _, ok := seen[rep]; !ok {
-			seen[rep] = rep
-			reps = append(reps, rep)
-		}
+// NewCollapser prepares a collapser for circuit c.
+func NewCollapser(c *netlist.Circuit) *Collapser {
+	return &Collapser{c: c, inFan: inputFanouts(c)}
+}
+
+// Collapse is Collapse(c, sg, faults) with the circuit scan amortized.
+func (cc *Collapser) Collapse(sg *sim.Segment, faults []sim.Fault) (reps []sim.Fault, classes map[sim.Fault][]sim.Fault) {
+	reps, repIdx := cc.CollapseIndexed(sg, faults)
+	classes = make(map[sim.Fault][]sim.Fault, len(reps))
+	for i, f := range faults {
+		rep := reps[repIdx[i]]
 		classes[rep] = append(classes[rep], f)
 	}
 	return reps, classes
 }
 
-func inputFanout(c *netlist.Circuit, in string) []string {
-	var out []string
+// CollapseIndexed is the campaign-facing form: representatives plus, for
+// every input fault, the index of its representative in reps. It works
+// entirely in signal-index space — one name lookup per fault, no
+// fault-keyed maps — which keeps collapsing far cheaper than the
+// simulation it saves.
+func (cc *Collapser) CollapseIndexed(sg *sim.Segment, faults []sim.Fault) (reps []sim.Fault, repIdx []int) {
+	c := cc.c
+	sigs := sg.Signals()
+	local := make(map[string]int, len(sigs))
+	for i, n := range sigs {
+		local[n] = i
+	}
+
+	// Per-signal chain step: the single-fanout successor inside the
+	// segment (or -1), with the polarity flip of an inverter hop.
+	next := make([]int32, len(sigs))
+	flip := make([]bool, len(sigs))
+	for i, n := range sigs {
+		next[i] = -1
+		g := c.Gate(n)
+		var fanout []string
+		if g != nil {
+			fanout = g.Fanout()
+		} else if c.IsInput(n) {
+			fanout = cc.inFan[n]
+		}
+		if len(fanout) != 1 {
+			continue
+		}
+		ni, ok := local[fanout[0]]
+		if !ok {
+			continue
+		}
+		switch c.Gate(fanout[0]).Type {
+		case netlist.Not:
+			next[i], flip[i] = int32(ni), true
+		case netlist.Buf, netlist.DFF:
+			next[i], flip[i] = int32(ni), false
+		}
+	}
+
+	// Resolve each fault id (2*signal + polarity) to its chain fixed
+	// point, memoized with path compression; the in-progress marker breaks
+	// chains that loop through a register.
+	const unset, busy = -1, -2
+	repOfID := make([]int32, 2*len(sigs))
+	for i := range repOfID {
+		repOfID[i] = unset
+	}
+	var resolve func(fid int32) int32
+	resolve = func(fid int32) int32 {
+		switch repOfID[fid] {
+		case busy:
+			return fid
+		case unset:
+			repOfID[fid] = busy
+			sig := fid >> 1
+			r := fid
+			if n := next[sig]; n >= 0 {
+				pol := fid & 1
+				if flip[sig] {
+					pol ^= 1
+				}
+				r = resolve(n<<1 | pol)
+			}
+			repOfID[fid] = r
+			return r
+		default:
+			return repOfID[fid]
+		}
+	}
+
+	repIdx = make([]int, len(faults))
+	slot := make([]int32, 2*len(sigs))
+	for i := range slot {
+		slot[i] = -1
+	}
+	for i, f := range faults {
+		li, ok := local[f.Signal]
+		if !ok {
+			// Unknown signal: keep the fault as its own representative.
+			repIdx[i] = len(reps)
+			reps = append(reps, f)
+			continue
+		}
+		fid := int32(li) << 1
+		if f.Stuck1 {
+			fid |= 1
+		}
+		rep := resolve(fid)
+		if slot[rep] < 0 {
+			slot[rep] = int32(len(reps))
+			reps = append(reps, sim.Fault{Signal: sigs[rep>>1], Stuck1: rep&1 == 1})
+		}
+		repIdx[i] = int(slot[rep])
+	}
+	return reps, repIdx
+}
+
+// inputFanouts maps every primary input to the gates it feeds, in one
+// pass over the circuit.
+func inputFanouts(c *netlist.Circuit) map[string][]string {
+	out := make(map[string][]string, len(c.Inputs))
 	for _, g := range c.Gates {
 		for _, f := range g.Fanin {
-			if f == in {
-				out = append(out, g.Name)
+			if c.IsInput(f) {
+				out[f] = append(out[f], g.Name)
 			}
 		}
 	}

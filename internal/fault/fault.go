@@ -1,10 +1,17 @@
 // Package fault provides single stuck-at fault enumeration and parallel
 // fault simulation over circuit segments, used to validate the PPET claim
 // of high fault coverage under pseudo-exhaustive per-segment testing.
+//
+// Two entry points share one 63-lane batch kernel: Simulate runs a single
+// segment serially (the historical API), and Campaign fans every segment
+// of a partition across a bounded worker pool with fault dropping and
+// deterministic aggregation (campaign.go).
 package fault
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cbit"
 	"repro/internal/sim"
@@ -13,8 +20,14 @@ import (
 // List enumerates the single stuck-at faults of a segment: SA0 and SA1 on
 // every signal the segment knows (external inputs, gate outputs, flip-flop
 // outputs). This is the uncollapsed output-fault list.
+//
+// The order is an explicit contract: signals ascend lexicographically and
+// SA0 precedes SA1 on each signal. Batch packing, campaign reports, and
+// the Undetected lists all inherit this order, which is what makes
+// coverage reports byte-identical across runs and worker counts.
 func List(sg *sim.Segment) []sim.Fault {
-	sigs := sg.Signals()
+	sigs := append([]string(nil), sg.Signals()...)
+	sort.Strings(sigs)
 	out := make([]sim.Fault, 0, 2*len(sigs))
 	for _, s := range sigs {
 		out = append(out, sim.Fault{Signal: s, Stuck1: false}, sim.Fault{Signal: s, Stuck1: true})
@@ -62,20 +75,12 @@ type Options struct {
 // packed 63 per batch (lane 0 is fault-free).
 func Simulate(sg *sim.Segment, faults []sim.Fault, opt Options) (Coverage, error) {
 	cov := Coverage{Total: len(faults)}
-	n := sg.NumInputs()
-	patterns := patternBudget(n, sg.NumDFFs(), opt.MaxPatterns)
+	patterns := patternBudget(sg.NumInputs(), sg.NumDFFs(), opt.MaxPatterns)
 	cov.Patterns = patterns
 
-	width := n
-	if width < cbit.MinWidth {
-		width = cbit.MinWidth
-	}
-	if width > cbit.MaxWidth {
-		width = cbit.MaxWidth
-	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-
-	outs := make([]uint64, sg.NumOutputs())
+	env := newBatchEnv(sg)
+	defer env.release()
 	for start := 0; start < len(faults); start += 63 {
 		end := start + 63
 		if end > len(faults) {
@@ -83,57 +88,9 @@ func Simulate(sg *sim.Segment, faults []sim.Fault, opt Options) (Coverage, error
 		}
 		batch := faults[start:end]
 		cov.Batches++
-
-		sg.ClearFaults()
-		for i, f := range batch {
-			if err := sg.InjectFault(f, i+1); err != nil {
-				return cov, err
-			}
-		}
-
-		// Sequential segments run several sessions, each preceded by a scan
-		// re-initialisation (fresh LFSR seed, cleared state): a single
-		// maximal-length orbit correlates pattern order with state and can
-		// systematically miss state-dependent faults.
-		sessions := 1
-		if sg.NumDFFs() > 0 {
-			sessions = 4
-		}
-		perSession := patterns / uint64(sessions)
-		if perSession == 0 {
-			perSession = 1
-		}
-		var detected uint64 // lane mask of detected faults in this batch
-		allLanes := laneMask(len(batch))
-		for s := 0; s < sessions && detected != allLanes; s++ {
-			tpg, err := cbit.New(width)
-			if err != nil {
-				return cov, err
-			}
-			seed := rng.Uint64()
-			if seed&tpgMask(width) == 0 {
-				seed = 1
-			}
-			if err := tpg.SetState(seed); err != nil {
-				return cov, err
-			}
-			st := sg.NewState()
-			// Warm-up (state pre-load) cycles.
-			for w := 0; w < opt.WarmUp; w++ {
-				sg.CycleOutputsInto(st, tpg.StepTPG(), outs)
-			}
-			for p := uint64(0); p < perSession && detected != allLanes; p++ {
-				pat := tpg.StepTPG()
-				sg.CycleOutputsInto(st, pat, outs)
-				for _, w := range outs {
-					ref := w & 1 // fault-free lane
-					var refw uint64
-					if ref != 0 {
-						refw = ^uint64(0)
-					}
-					detected |= (w ^ refw) & allLanes
-				}
-			}
+		detected, err := env.runBatch(context.Background(), batch, patterns, opt.WarmUp, 0, rng.Uint64)
+		if err != nil {
+			return cov, err
 		}
 		for i, f := range batch {
 			if detected&(1<<uint(i+1)) != 0 {
@@ -143,8 +100,122 @@ func Simulate(sg *sim.Segment, faults []sim.Fault, opt Options) (Coverage, error
 			}
 		}
 	}
-	sg.ClearFaults()
 	return cov, nil
+}
+
+// batchEnv bundles the per-worker scratch a batch simulation needs: the
+// shared immutable segment plus a private injector, state, and output
+// buffer. Workers of a parallel campaign each hold their own env, so the
+// segment itself is only ever read.
+type batchEnv struct {
+	sg   *sim.Segment
+	inj  *sim.Injector
+	st   *sim.SegState
+	outs []uint64
+}
+
+func newBatchEnv(sg *sim.Segment) *batchEnv {
+	return &batchEnv{
+		sg:   sg,
+		inj:  sg.NewInjector(),
+		st:   sg.GetState(),
+		outs: make([]uint64, sg.NumOutputs()),
+	}
+}
+
+// release returns pooled buffers to the segment.
+func (e *batchEnv) release() { e.sg.PutState(e.st) }
+
+// ctxCheckMask throttles context polling in the pattern loop: the check
+// runs every 8192 cycles, bounding cancellation latency without touching
+// the hot path measurably.
+const ctxCheckMask = 8192 - 1
+
+// runBatch simulates one batch of up to 63 faults (lane 0 fault-free,
+// lane i+1 carrying batch[i]) for up to `budget` patterns per fault and
+// returns the detected-lane mask. Sequential segments run 4 scan-
+// re-initialised sessions (fresh LFSR seed from nextSeed, cleared state)
+// splitting the budget; a single maximal-length orbit correlates pattern
+// order with state and can systematically miss state-dependent faults.
+// maxSessions > 0 caps that session count (the campaign's triage stage
+// runs one session — its survivors get the full treatment on escalation).
+// The batch stops cycling as soon as every lane has diverged from lane 0
+// (fault dropping), and returns ctx.Err() promptly when cancelled.
+func (e *batchEnv) runBatch(ctx context.Context, batch []sim.Fault, budget uint64, warmUp, maxSessions int, nextSeed func() uint64) (uint64, error) {
+	sg := e.sg
+	e.inj.Reset()
+	for i, f := range batch {
+		if err := sg.Inject(e.inj, f, i+1); err != nil {
+			return 0, err
+		}
+	}
+	width := sg.NumInputs()
+	if width < cbit.MinWidth {
+		width = cbit.MinWidth
+	}
+	if width > cbit.MaxWidth {
+		width = cbit.MaxWidth
+	}
+	sessions := 1
+	if sg.NumDFFs() > 0 {
+		sessions = 4
+	}
+	if maxSessions > 0 && sessions > maxSessions {
+		sessions = maxSessions
+	}
+	perSession := budget / uint64(sessions)
+	if perSession == 0 {
+		perSession = 1
+	}
+	allLanes := laneMask(len(batch))
+	var detected uint64
+	for s := 0; s < sessions && detected != allLanes; s++ {
+		if err := ctx.Err(); err != nil {
+			return detected, err
+		}
+		atSessionStart := detected
+		tpg, err := cbit.New(width)
+		if err != nil {
+			return detected, err
+		}
+		seed := nextSeed()
+		if seed&tpgMask(width) == 0 {
+			seed = 1
+		}
+		if err := tpg.SetState(seed); err != nil {
+			return detected, err
+		}
+		e.st.Reset()
+		// Warm-up (state pre-load) cycles.
+		for w := 0; w < warmUp; w++ {
+			sg.CycleInto(e.st, e.inj, tpg.StepTPG(), e.outs)
+		}
+		for p := uint64(0); p < perSession && detected != allLanes; p++ {
+			if p&ctxCheckMask == ctxCheckMask {
+				if err := ctx.Err(); err != nil {
+					return detected, err
+				}
+			}
+			sg.CycleInto(e.st, e.inj, tpg.StepTPG(), e.outs)
+			for _, w := range e.outs {
+				ref := w & 1 // fault-free lane
+				var refw uint64
+				if ref != 0 {
+					refw = ^uint64(0)
+				}
+				detected |= (w ^ refw) & allLanes
+			}
+		}
+		// Session-level fault dropping: a full re-seeded session that
+		// detects nothing new means the survivors are (near-)redundant for
+		// this pattern source; further sessions would replay the same
+		// maximal-length orbit from another phase and almost surely find
+		// nothing either, so stop instead of burning the remaining budget.
+		if detected == atSessionStart {
+			break
+		}
+	}
+	return detected, nil
 }
 
 // patternBudget chooses the applied cycle count: the pseudo-exhaustive

@@ -1,0 +1,133 @@
+package fault
+
+// Campaign report writers: JSON for machines, CSV for spreadsheets,
+// aligned text for terminals. With Timing off, all three forms are
+// byte-for-byte deterministic for fixed CampaignOptions — independent of
+// worker count and scheduling — which the determinism tests pin down by
+// diffing reports rendered at different -workers values.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/report"
+)
+
+// RenderOptions selects what the campaign writers emit.
+type RenderOptions struct {
+	// Timing includes wall-clock fields (campaign elapsed, worker count).
+	// These are non-deterministic; leave Timing false when the output must
+	// be reproducible byte-for-byte.
+	Timing bool
+	// Undetected lists each cluster's surviving faults in the text form
+	// (they are always present in JSON).
+	Undetected bool
+}
+
+type segmentJSON struct {
+	Cluster    int      `json:"cluster"`
+	Cells      int      `json:"cells"`
+	Inputs     int      `json:"inputs"`
+	Outputs    int      `json:"outputs"`
+	DFFs       int      `json:"dffs"`
+	Faults     int      `json:"faults"`
+	Simulated  int      `json:"simulated"`
+	Detected   int      `json:"detected"`
+	Coverage   float64  `json:"coverage"`
+	Patterns   uint64   `json:"patterns"`
+	Undetected []string `json:"undetected,omitempty"`
+}
+
+type campaignJSON struct {
+	Segments      []segmentJSON `json:"segments"`
+	Faults        int           `json:"faults"`
+	Simulated     int           `json:"simulated"`
+	Detected      int           `json:"detected"`
+	Coverage      float64       `json:"coverage"`
+	Batches       int           `json:"batches"`
+	TriageBatches int           `json:"triage_batches"`
+	Workers       int           `json:"workers,omitempty"`
+	ElapsedMS     float64       `json:"elapsed_ms,omitempty"`
+}
+
+// WriteJSON renders the report as indented JSON: a "segments" array in
+// partition order plus aggregate counters. Timing fields appear only under
+// opts.Timing.
+func (r *CampaignReport) WriteJSON(w io.Writer, opts RenderOptions) error {
+	out := campaignJSON{
+		Segments:      make([]segmentJSON, 0, len(r.Segments)),
+		Faults:        r.Total,
+		Simulated:     r.Simulated,
+		Detected:      r.Detected,
+		Coverage:      r.Ratio(),
+		Batches:       r.Batches,
+		TriageBatches: r.TriageBatches,
+	}
+	for i := range r.Segments {
+		sc := &r.Segments[i]
+		sj := segmentJSON{
+			Cluster: sc.Cluster, Cells: sc.Cells,
+			Inputs: sc.Inputs, Outputs: sc.Outputs, DFFs: sc.DFFs,
+			Faults: sc.Total, Simulated: sc.Simulated, Detected: sc.Detected,
+			Coverage: sc.Ratio(), Patterns: sc.Patterns,
+		}
+		for _, f := range sc.Undetected {
+			sj.Undetected = append(sj.Undetected, f.String())
+		}
+		out.Segments = append(out.Segments, sj)
+	}
+	if opts.Timing {
+		out.Workers = r.Workers
+		out.ElapsedMS = float64(r.Elapsed) / float64(time.Millisecond)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// table builds the shared per-cluster table for the CSV and text writers.
+func (r *CampaignReport) table(title string) *report.Table {
+	t := report.NewTable(title, "cluster", "cells", "inputs", "outputs", "dffs",
+		"faults", "simulated", "detected", "coverage", "patterns")
+	for i := range r.Segments {
+		sc := &r.Segments[i]
+		t.AddRowf(sc.Cluster, sc.Cells, sc.Inputs, sc.Outputs, sc.DFFs,
+			sc.Total, sc.Simulated, sc.Detected,
+			fmt.Sprintf("%.4f", sc.Ratio()), sc.Patterns)
+	}
+	return t
+}
+
+// WriteCSV renders one row per cluster in partition order.
+func (r *CampaignReport) WriteCSV(w io.Writer, opts RenderOptions) error {
+	return r.table("").WriteCSV(w)
+}
+
+// WriteText renders the aligned per-cluster table followed by the
+// aggregate line (worker/elapsed trailer only under opts.Timing).
+func (r *CampaignReport) WriteText(w io.Writer, opts RenderOptions) error {
+	if err := r.table("Fault coverage").Write(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\ntotal: %d/%d faults detected (%.4f coverage), %d simulated after collapse, %d batches (%d triage)\n",
+		r.Detected, r.Total, r.Ratio(), r.Simulated, r.Batches, r.TriageBatches); err != nil {
+		return err
+	}
+	if opts.Undetected {
+		for i := range r.Segments {
+			sc := &r.Segments[i]
+			for _, f := range sc.Undetected {
+				if _, err := fmt.Fprintf(w, "undetected: cluster %d %s\n", sc.Cluster, f); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if !opts.Timing {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "workers %d: %v\n", r.Workers, r.Elapsed.Round(time.Millisecond))
+	return err
+}

@@ -122,6 +122,11 @@ func Saturate(ctx context.Context, g *graph.G, cfg Config) (*Result, error) {
 	if maxIter <= 0 {
 		maxIter = math.MaxInt
 	}
+	// The distance exponent's argument is alpha/b * flow; alpha and b are
+	// loop constants, so hoist the quotient out of the per-edge update
+	// (at the paper's b=1 this also keeps the float sequence — and hence
+	// the goldens — bit-identical, since x/1 == x).
+	invCap := cfg.Alpha / cfg.Capacity
 	for len(under) > 0 && res.Trees < maxIter { // STEP 3
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("flow: saturate after %d trees: %w", res.Trees, err)
@@ -142,8 +147,7 @@ func Saturate(ctx context.Context, g *graph.G, cfg Config) (*Result, error) {
 		}
 		for _, e := range tree { // STEP 3.3
 			res.Flow[e] += cfg.Delta
-			x := cfg.Alpha * res.Flow[e] / cfg.Capacity
-			res.D[e] = math.Exp(x)
+			res.D[e] = math.Exp(invCap * res.Flow[e])
 		}
 		// A source with no outgoing reachability still counts as sampled,
 		// which the bump above already handled.

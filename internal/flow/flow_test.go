@@ -220,3 +220,24 @@ func TestSaturateFlowQuantised(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkSaturateS27 exercises the full Saturate loop — tree growth plus
+// the hoisted exp(alpha/b * flow) edge updates — on the s27 net graph.
+func BenchmarkSaturateS27(b *testing.B) {
+	c, err := netlist.ParseBenchString("s27", s27)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.FromCircuit(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.MaxIterations = 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Saturate(context.Background(), g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

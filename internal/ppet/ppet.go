@@ -179,7 +179,8 @@ func runSegment(sg *sim.Segment, sp SegmentPlan, opt SelfTestOptions) (uint64, u
 		max = full
 	}
 	outs := make([]uint64, sg.NumOutputs())
-	st := sg.NewState()
+	st := sg.GetState()
+	defer sg.PutState(st)
 	var cycles uint64
 	for ; cycles < max; cycles++ {
 		pat := tpg.StepTPG()

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/netlist"
@@ -26,18 +27,67 @@ type Segment struct {
 	index   map[string]int
 	inputs  []int
 	outputs []int
-	ops     []gateOp
+	prog    *program
 	dffs    []dffInfo
 
+	// def is the segment's built-in injector, used by the legacy
+	// single-threaded InjectFault/Cycle methods. Concurrent campaigns use
+	// one NewInjector per worker instead; the rest of the Segment is
+	// immutable after BuildSegment and safe to share.
+	def *Injector
+
+	// statePool recycles SegState buffers across batches and workers.
+	statePool sync.Pool
+}
+
+// Injector holds per-signal stuck-at lane masks for one 63-fault batch.
+// A Segment is immutable after BuildSegment; all mutable fault state lives
+// here, so concurrent workers simulate the same Segment by giving each
+// batch its own Injector (and SegState).
+type Injector struct {
 	// force0/force1 are per-signal fault-injection masks (lane bits).
 	force0, force1 []uint64
+}
+
+// NewInjector returns an empty injector sized for the segment.
+func (sg *Segment) NewInjector() *Injector {
+	return &Injector{
+		force0: make([]uint64, len(sg.names)),
+		force1: make([]uint64, len(sg.names)),
+	}
+}
+
+// Reset removes all injected faults.
+func (inj *Injector) Reset() {
+	for i := range inj.force0 {
+		inj.force0[i] = 0
+		inj.force1[i] = 0
+	}
+}
+
+// Inject adds fault f on lane (1..63); lane 0 is reserved for the
+// fault-free machine. Unknown signals are rejected.
+func (sg *Segment) Inject(inj *Injector, f Fault, lane int) error {
+	if lane < 1 || lane > 63 {
+		return fmt.Errorf("sim: lane %d out of range 1..63", lane)
+	}
+	i, ok := sg.index[f.Signal]
+	if !ok {
+		return fmt.Errorf("sim: unknown fault signal %q", f.Signal)
+	}
+	if f.Stuck1 {
+		inj.force1[i] |= 1 << uint(lane)
+	} else {
+		inj.force0[i] |= 1 << uint(lane)
+	}
+	return nil
 }
 
 // BuildSegment compiles the cluster given by nodes (cell node IDs of g,
 // backed by circuit c) with the given external input nets. It treats
 // flip-flops inside the segment as normal sequential state.
 func BuildSegment(c *netlist.Circuit, g *graph.G, nodes []int, inputNets []int) (*Segment, error) {
-	sg := &Segment{index: make(map[string]int)}
+	sg := &Segment{index: make(map[string]int, len(inputNets)+2*len(nodes))}
 	inCluster := make(map[int]bool, len(nodes))
 	for _, v := range nodes {
 		inCluster[v] = true
@@ -68,10 +118,6 @@ func BuildSegment(c *netlist.Circuit, g *graph.G, nodes []int, inputNets []int) 
 	sort.Ints(segNodes)
 
 	// DFFs first (their outputs are state sources).
-	external := make(map[string]bool)
-	for _, name := range sg.InputNames {
-		external[name] = true
-	}
 	type pendingGate struct {
 		gate *netlist.Gate
 	}
@@ -89,67 +135,66 @@ func BuildSegment(c *netlist.Circuit, g *graph.G, nodes []int, inputNets []int) 
 			pend = append(pend, pendingGate{gate: gt})
 		}
 	}
-	ready := make(map[int]bool)
-	for _, i := range sg.inputs {
-		ready[i] = true
-	}
-	for _, d := range sg.dffs {
-		ready[d.out] = true
-	}
 	resolve := idx
-	// Pre-register all gate outputs so we can distinguish internal signals.
-	internalOut := make(map[string]bool)
-	for _, p := range pend {
-		internalOut[p.gate.Name] = true
+	// Register every gate output and fanin once, so the dependency
+	// bookkeeping below runs over dense signal-indexed slices instead of
+	// name-keyed maps. Signals produced by no registered gate are implicit
+	// externals (constant 0 unless driven), ready from the start; only
+	// combinational internal outputs gate readiness. Indegree-worklist
+	// Kahn emission keeps this linear in gates + edges (cf. Compile),
+	// where the old repeated-rescan loop was quadratic on deep segments.
+	outIdx := make([]int, len(pend))
+	for pi, p := range pend {
+		outIdx[pi] = resolve(p.gate.Name)
 	}
-	for _, d := range sg.dffs {
-		internalOut[sg.names[d.out]] = true
+	fanins := make([][]int, len(pend))
+	for pi, p := range pend {
+		fanin := make([]int, len(p.gate.Fanin))
+		for i, f := range p.gate.Fanin {
+			fanin[i] = resolve(f)
+		}
+		fanins[pi] = fanin
 	}
-	// Any fanin that is neither an input net name nor an internal output is
-	// an implicit external signal: mark ready (constant 0 unless driven).
-	for _, p := range pend {
-		for _, f := range p.gate.Fanin {
-			if !external[f] && !internalOut[f] {
-				ready[resolve(f)] = true
+	producer := make([]int32, len(sg.names)) // signal -> pending-gate index
+	for i := range producer {
+		producer[i] = -1
+	}
+	for pi, oi := range outIdx {
+		producer[oi] = int32(pi)
+	}
+	indeg := make([]int, len(pend))
+	consumers := make([][]int32, len(sg.names))
+	for pi := range pend {
+		for _, fi := range fanins[pi] {
+			if producer[fi] >= 0 {
+				indeg[pi]++
+				consumers[fi] = append(consumers[fi], int32(pi))
 			}
 		}
 	}
-	for _, d := range sg.dffs {
-		f := sg.names[d.in]
-		if !external[f] && !internalOut[f] {
-			ready[d.in] = true
+	queue := make([]int, 0, len(pend))
+	for pi := range pend {
+		if indeg[pi] == 0 {
+			queue = append(queue, pi)
 		}
 	}
-
-	for len(pend) > 0 {
-		progressed := false
-		rest := pend[:0]
-		for _, p := range pend {
-			ok := true
-			for _, f := range p.gate.Fanin {
-				if i, exists := sg.index[f]; !exists || !ready[i] {
-					if internalOut[f] || external[f] {
-						ok = false
-						break
-					}
-				}
+	ops := make([]gateOp, 0, len(pend))
+	for len(queue) > 0 {
+		pi := queue[0]
+		queue = queue[1:]
+		ops = append(ops, gateOp{typ: pend[pi].gate.Type, out: outIdx[pi], fanin: fanins[pi]})
+		for _, ci := range consumers[outIdx[pi]] {
+			indeg[ci]--
+			if indeg[ci] == 0 {
+				queue = append(queue, int(ci))
 			}
-			if !ok {
-				rest = append(rest, p)
-				continue
-			}
-			fanin := make([]int, len(p.gate.Fanin))
-			for i, f := range p.gate.Fanin {
-				fanin[i] = resolve(f)
-			}
-			out := resolve(p.gate.Name)
-			sg.ops = append(sg.ops, gateOp{typ: p.gate.Type, out: out, fanin: fanin})
-			ready[out] = true
-			progressed = true
 		}
-		pend = rest
-		if !progressed {
-			return nil, fmt.Errorf("sim: combinational cycle inside segment at %q", pend[0].gate.Name)
+	}
+	if len(ops) < len(pend) {
+		for pi := range pend {
+			if indeg[pi] > 0 {
+				return nil, fmt.Errorf("sim: combinational cycle inside segment at %q", pend[pi].gate.Name)
+			}
 		}
 	}
 
@@ -173,8 +218,8 @@ func BuildSegment(c *netlist.Circuit, g *graph.G, nodes []int, inputNets []int) 
 	sort.Strings(sg.OutputNames)
 	sort.Ints(sg.outputs)
 
-	sg.force0 = make([]uint64, len(sg.names))
-	sg.force1 = make([]uint64, len(sg.names))
+	sg.prog = compileProgram(ops)
+	sg.def = sg.NewInjector()
 	return sg, nil
 }
 
@@ -206,90 +251,77 @@ func (f Fault) String() string {
 	return fmt.Sprintf("%s/SA%d", f.Signal, v)
 }
 
-// ClearFaults removes all injected faults.
-func (sg *Segment) ClearFaults() {
-	for i := range sg.force0 {
-		sg.force0[i] = 0
-		sg.force1[i] = 0
-	}
-}
+// ClearFaults removes all faults from the segment's built-in injector.
+func (sg *Segment) ClearFaults() { sg.def.Reset() }
 
-// InjectFault injects fault f into lane (1..63); lane 0 is reserved for the
-// fault-free machine. Unknown signals are rejected.
-func (sg *Segment) InjectFault(f Fault, lane int) error {
-	if lane < 1 || lane > 63 {
-		return fmt.Errorf("sim: lane %d out of range 1..63", lane)
-	}
-	i, ok := sg.index[f.Signal]
-	if !ok {
-		return fmt.Errorf("sim: unknown fault signal %q", f.Signal)
-	}
-	if f.Stuck1 {
-		sg.force1[i] |= 1 << uint(lane)
-	} else {
-		sg.force0[i] |= 1 << uint(lane)
-	}
-	return nil
-}
+// InjectFault injects fault f into lane (1..63) of the segment's built-in
+// injector; lane 0 is reserved for the fault-free machine. Unknown signals
+// are rejected. Not safe for concurrent use — parallel campaigns give each
+// batch its own Injector via NewInjector/Inject.
+func (sg *Segment) InjectFault(f Fault, lane int) error { return sg.Inject(sg.def, f, lane) }
 
 // SegState is the sequential state of a segment (a word per signal).
 type SegState struct{ V []uint64 }
 
+// Reset zeroes the state.
+func (st *SegState) Reset() {
+	for i := range st.V {
+		st.V[i] = 0
+	}
+}
+
 // NewState returns an all-zero state.
 func (sg *Segment) NewState() *SegState { return &SegState{V: make([]uint64, len(sg.names))} }
+
+// GetState returns an all-zero state, recycling a previously Put one when
+// available. Safe for concurrent use.
+func (sg *Segment) GetState() *SegState {
+	if v := sg.statePool.Get(); v != nil {
+		st := v.(*SegState)
+		st.Reset()
+		return st
+	}
+	return sg.NewState()
+}
+
+// PutState returns a state obtained from GetState (or NewState) to the
+// segment's pool for reuse.
+func (sg *Segment) PutState(st *SegState) { sg.statePool.Put(st) }
 
 // Cycle applies one clock: drive the inputs (pattern bit i broadcast to all
 // 64 lanes), settle combinational logic with fault injection, sample the
 // boundary outputs, then clock internal flip-flops. pattern bit i drives
 // input i (LSB = InputNames[0]).
 func (sg *Segment) Cycle(st *SegState, pattern uint64) (outputs []uint64) {
-	v := st.V
-	for i, sig := range sg.inputs {
-		var w uint64
-		if pattern&(1<<uint(i)) != 0 {
-			w = ^uint64(0)
-		}
-		v[sig] = (w &^ sg.force0[sig]) | sg.force1[sig]
-	}
-	for i := range sg.ops {
-		op := &sg.ops[i]
-		r := evalGate(op.typ, op.fanin, v)
-		v[op.out] = (r &^ sg.force0[op.out]) | sg.force1[op.out]
-	}
 	outputs = make([]uint64, len(sg.outputs))
-	for i, sig := range sg.outputs {
-		outputs[i] = v[sig]
-	}
-	for i := range sg.dffs {
-		d := &sg.dffs[i]
-		nv := v[d.in]
-		v[d.out] = (nv &^ sg.force0[d.out]) | sg.force1[d.out]
-	}
+	sg.CycleInto(st, sg.def, pattern, outputs)
 	return outputs
 }
 
-// CycleOutputsInto is Cycle without allocating; out must have NumOutputs
-// entries.
+// CycleOutputsInto is Cycle without allocating, using the segment's
+// built-in injector; out must have NumOutputs entries.
 func (sg *Segment) CycleOutputsInto(st *SegState, pattern uint64, out []uint64) {
+	sg.CycleInto(st, sg.def, pattern, out)
+}
+
+// CycleInto runs one clock with the batch-local injector inj: drive inputs,
+// settle combinational logic through the flattened program, sample boundary
+// outputs into out (which must have NumOutputs entries), latch flip-flops.
+// Concurrent calls are safe as long as (st, inj) pairs are not shared.
+func (sg *Segment) CycleInto(st *SegState, inj *Injector, pattern uint64, out []uint64) {
 	v := st.V
+	f0, f1 := inj.force0, inj.force1
 	for i, sig := range sg.inputs {
-		var w uint64
-		if pattern&(1<<uint(i)) != 0 {
-			w = ^uint64(0)
-		}
-		v[sig] = (w &^ sg.force0[sig]) | sg.force1[sig]
+		w := -(pattern >> uint(i) & 1) // branchless 0 / all-ones broadcast
+		v[sig] = (w &^ f0[sig]) | f1[sig]
 	}
-	for i := range sg.ops {
-		op := &sg.ops[i]
-		r := evalGate(op.typ, op.fanin, v)
-		v[op.out] = (r &^ sg.force0[op.out]) | sg.force1[op.out]
-	}
+	sg.prog.evalFaulty(v, f0, f1)
 	for i, sig := range sg.outputs {
 		out[i] = v[sig]
 	}
 	for i := range sg.dffs {
 		d := &sg.dffs[i]
 		nv := v[d.in]
-		v[d.out] = (nv &^ sg.force0[d.out]) | sg.force1[d.out]
+		v[d.out] = (nv &^ f0[d.out]) | f1[d.out]
 	}
 }

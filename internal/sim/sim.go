@@ -22,7 +22,7 @@ type Evaluator struct {
 	inputs  []int // signal indices of PIs
 	outputs []int // signal indices of POs
 	dffs    []dffInfo
-	order   []gateOp // topological evaluation order (comb gates only)
+	prog    *program // flattened topological evaluation order (comb gates only)
 }
 
 type dffInfo struct {
@@ -61,52 +61,63 @@ func Compile(c *netlist.Circuit) (*Evaluator, error) {
 		ev.outputs = append(ev.outputs, idx(out))
 	}
 
-	// Kahn topological sort over combinational gates; DFF outputs and PIs
-	// are sources.
+	// Kahn topological sort over combinational gates, driven by an
+	// indegree worklist: each gate counts its not-yet-ready fanins once,
+	// and emitting a gate decrements the counters of its consumers. This
+	// is O(gates + fanin edges), replacing the old repeated rescan of the
+	// whole pending list (quadratic on deep circuits).
 	ready := make([]bool, len(ev.Names))
 	for _, i := range ev.inputs {
 		ready[i] = true
 	}
+	comb := make([]*netlist.Gate, 0, len(c.Gates))
 	for _, g := range c.Gates {
 		if g.Type == netlist.DFF {
 			ready[ev.Signals[g.Name]] = true
 			ev.dffs = append(ev.dffs, dffInfo{out: ev.Signals[g.Name], in: ev.Signals[g.Fanin[0]]})
+		} else {
+			comb = append(comb, g)
 		}
 	}
-	pending := make([]*netlist.Gate, 0, len(c.Gates))
-	for _, g := range c.Gates {
-		if g.Type != netlist.DFF {
-			pending = append(pending, g)
+	indeg := make([]int, len(comb))
+	consumers := make([][]int32, len(ev.Names)) // signal -> comb gates waiting on it
+	queue := make([]int, 0, len(comb))
+	for gi, g := range comb {
+		for _, in := range g.Fanin {
+			si := ev.Signals[in]
+			if !ready[si] {
+				indeg[gi]++
+				consumers[si] = append(consumers[si], int32(gi))
+			}
+		}
+		if indeg[gi] == 0 {
+			queue = append(queue, gi)
 		}
 	}
-	for len(pending) > 0 {
-		progressed := false
-		rest := pending[:0]
-		for _, g := range pending {
-			ok := true
-			for _, in := range g.Fanin {
-				if !ready[ev.Signals[in]] {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				rest = append(rest, g)
-				continue
-			}
-			fanin := make([]int, len(g.Fanin))
-			for i, in := range g.Fanin {
-				fanin[i] = ev.Signals[in]
-			}
-			ev.order = append(ev.order, gateOp{typ: g.Type, out: ev.Signals[g.Name], fanin: fanin})
-			ready[ev.Signals[g.Name]] = true
-			progressed = true
+	order := make([]gateOp, 0, len(comb))
+	for head := 0; head < len(queue); head++ {
+		g := comb[queue[head]]
+		fanin := make([]int, len(g.Fanin))
+		for i, in := range g.Fanin {
+			fanin[i] = ev.Signals[in]
 		}
-		pending = rest
-		if !progressed {
-			return nil, fmt.Errorf("sim: combinational cycle involving %q", pending[0].Name)
+		out := ev.Signals[g.Name]
+		order = append(order, gateOp{typ: g.Type, out: out, fanin: fanin})
+		for _, ci := range consumers[out] {
+			indeg[ci]--
+			if indeg[ci] == 0 {
+				queue = append(queue, int(ci))
+			}
 		}
 	}
+	if len(order) < len(comb) {
+		for gi := range comb {
+			if indeg[gi] > 0 {
+				return nil, fmt.Errorf("sim: combinational cycle involving %q", comb[gi].Name)
+			}
+		}
+	}
+	ev.prog = compileProgram(order)
 	return ev, nil
 }
 
@@ -145,11 +156,7 @@ func (ev *Evaluator) DFF(s *State, i int) uint64 { return s.V[ev.dffs[i].out] }
 // EvalComb evaluates all combinational gates in topological order, given
 // the PI and DFF-output entries of s.
 func (ev *Evaluator) EvalComb(s *State) {
-	v := s.V
-	for i := range ev.order {
-		op := &ev.order[i]
-		v[op.out] = evalGate(op.typ, op.fanin, v)
-	}
+	ev.prog.eval(s.V)
 }
 
 // ClockDFFs latches every flip-flop's data input into its output
@@ -164,44 +171,4 @@ func (ev *Evaluator) ClockDFFs(s *State) {
 func (ev *Evaluator) Step(s *State) {
 	ev.EvalComb(s)
 	ev.ClockDFFs(s)
-}
-
-func evalGate(t netlist.GateType, fanin []int, v []uint64) uint64 {
-	switch t {
-	case netlist.And, netlist.Nand:
-		r := ^uint64(0)
-		for _, f := range fanin {
-			r &= v[f]
-		}
-		if t == netlist.Nand {
-			return ^r
-		}
-		return r
-	case netlist.Or, netlist.Nor:
-		r := uint64(0)
-		for _, f := range fanin {
-			r |= v[f]
-		}
-		if t == netlist.Nor {
-			return ^r
-		}
-		return r
-	case netlist.Xor, netlist.Xnor:
-		r := uint64(0)
-		for _, f := range fanin {
-			r ^= v[f]
-		}
-		if t == netlist.Xnor {
-			return ^r
-		}
-		return r
-	case netlist.Not:
-		return ^v[fanin[0]]
-	case netlist.Buf, netlist.DFF:
-		return v[fanin[0]]
-	case netlist.Mux:
-		sel := v[fanin[0]]
-		return (v[fanin[1]] &^ sel) | (v[fanin[2]] & sel)
-	}
-	return 0
 }

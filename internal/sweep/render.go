@@ -38,7 +38,20 @@ type jobJSON struct {
 	Clusters  int              `json:"clusters,omitempty"`
 	MaxInputs int              `json:"max_inputs,omitempty"`
 	Areas     *core.AreaReport `json:"areas,omitempty"`
+	Coverage  *coverageJSON    `json:"coverage,omitempty"`
 	ElapsedMS float64          `json:"elapsed_ms,omitempty"`
+}
+
+// coverageJSON is the compact per-job fault-coverage block: the campaign
+// aggregates without the per-cluster detail (`merced -cover` renders the
+// full report when that detail is wanted).
+type coverageJSON struct {
+	Faults        int     `json:"faults"`
+	Simulated     int     `json:"simulated"`
+	Detected      int     `json:"detected"`
+	Coverage      float64 `json:"coverage"`
+	Batches       int     `json:"batches"`
+	TriageBatches int     `json:"triage_batches"`
 }
 
 type phasesJSON struct {
@@ -93,6 +106,12 @@ func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 			jj.Clusters = jr.Clusters
 			jj.MaxInputs = jr.MaxInputs
 			jj.Areas = &areas
+			if cov := jr.Coverage; cov != nil {
+				jj.Coverage = &coverageJSON{
+					Faults: cov.Total, Simulated: cov.Simulated, Detected: cov.Detected,
+					Coverage: cov.Ratio(), Batches: cov.Batches, TriageBatches: cov.TriageBatches,
+				}
+			}
 		}
 		if opts.Timing {
 			jj.ElapsedMS = ms(jr.Elapsed)
@@ -117,11 +136,24 @@ func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 	return enc.Encode(out)
 }
 
-// table builds the shared per-job table for the CSV and text writers.
+// table builds the shared per-job table for the CSV and text writers. The
+// coverage column appears only when at least one job carries a campaign
+// report, so plain sweeps render exactly as before.
 func (r *Report) table(title string, opts RenderOptions) *report.Table {
+	hasCoverage := false
+	for i := range r.Jobs {
+		if r.Jobs[i].Coverage != nil {
+			hasCoverage = true
+			break
+		}
+	}
 	headers := []string{"circuit", "lk", "beta", "seed", "clusters", "max_inputs",
 		"cut_nets", "cuts_on_scc", "covered", "excess",
-		"cbit_retimed", "cbit_nonretimed", "ratio_retimed", "ratio_nonretimed", "saving", "error"}
+		"cbit_retimed", "cbit_nonretimed", "ratio_retimed", "ratio_nonretimed", "saving"}
+	if hasCoverage {
+		headers = append(headers, "coverage")
+	}
+	headers = append(headers, "error")
 	if opts.Timing {
 		headers = append(headers, "elapsed")
 	}
@@ -136,7 +168,15 @@ func (r *Report) table(title string, opts RenderOptions) *report.Table {
 			jr.Clusters, jr.MaxInputs,
 			jr.Areas.CutNets, jr.Areas.CutNetsOnSCC, jr.Areas.CoveredCuts, jr.Areas.ExcessCuts,
 			jr.Areas.CBITAreaRetimed, jr.Areas.CBITAreaNonRetimed,
-			jr.Areas.RatioRetimed, jr.Areas.RatioNonRetimed, jr.Areas.Saving(), errText}
+			jr.Areas.RatioRetimed, jr.Areas.RatioNonRetimed, jr.Areas.Saving()}
+		if hasCoverage {
+			cov := ""
+			if jr.Coverage != nil {
+				cov = fmt.Sprintf("%.4f", jr.Coverage.Ratio())
+			}
+			row = append(row, cov)
+		}
+		row = append(row, errText)
 		if opts.Timing {
 			row = append(row, jr.Elapsed)
 		}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/bench89"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/netlist"
 )
 
@@ -100,6 +101,16 @@ type Config struct {
 	// CacheEntries bounds the artifact cache; <= 0 means
 	// DefaultCacheEntries.
 	CacheEntries int
+	// Coverage runs a fault-coverage campaign (internal/fault.Campaign)
+	// over each successfully compiled job's partition and attaches the
+	// report to JobResult.Coverage. Campaigns run single-worker inside the
+	// job — the sweep pool is the parallelism — with collapsing on and the
+	// job's seed, so coverage results are as deterministic as the
+	// compilation itself.
+	Coverage bool
+	// CoverageMaxPatterns caps the per-fault pattern budget of those
+	// campaigns; 0 means the full pseudo-exhaustive budget.
+	CoverageMaxPatterns uint64
 	// Load resolves Job.Circuit to a netlist; nil means LoadCircuit.
 	Load func(name string) (*netlist.Circuit, error)
 	// Compile runs one job; nil means the staged cached pipeline (or
@@ -124,6 +135,9 @@ type JobResult struct {
 	// Elapsed and Phases are the job's wall-clock cost.
 	Elapsed time.Duration
 	Phases  core.Phases
+	// Coverage is the job's fault-coverage campaign report, present only
+	// under Config.Coverage.
+	Coverage *fault.CampaignReport
 	// Result is the full compilation, retained only under
 	// Config.KeepResults.
 	Result *core.Result
@@ -316,6 +330,23 @@ func runJob(ctx context.Context, j Job, master *core.Parsed, cache *artifactCach
 	res.MaxInputs = r.Partition.MaxInputs()
 	res.Areas = r.Areas
 	res.Phases = r.Phases
+	if cfg.Coverage {
+		// The campaign reads the shared normalized circuit and the job's
+		// own partition; single-worker because the sweep pool is already
+		// saturating the machine, collapsing on because it is strictly
+		// cheaper at identical coverage.
+		cov, err := fault.Campaign(ctx, master.Circuit(), r.Partition, fault.CampaignOptions{
+			MaxPatterns: cfg.CoverageMaxPatterns,
+			Seed:        j.Seed,
+			Workers:     1,
+			Collapse:    true,
+		})
+		if err != nil {
+			res.Err = fmt.Errorf("sweep: coverage campaign: %w", err)
+			return res
+		}
+		res.Coverage = cov
+	}
 	if cfg.KeepResults {
 		res.Result = r
 	}

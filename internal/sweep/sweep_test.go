@@ -302,3 +302,65 @@ func TestKeepResults(t *testing.T) {
 		t.Fatal("Result retained without KeepResults")
 	}
 }
+
+// Coverage campaigns run per job with the job's seed and a single worker,
+// so a coverage-enabled sweep stays byte-identical across pool sizes and
+// plain sweeps stay free of the coverage column.
+func TestCoverageDeterministicAcrossWorkers(t *testing.T) {
+	jobs := Matrix([]string{"s27", "s510"}, []int{4, 8}, []int{50}, []int64{1})
+	render := func(workers int) (jsonOut, csvOut string) {
+		t.Helper()
+		rep, err := Run(context.Background(), jobs, Config{Workers: workers, Coverage: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Stats.Failed != 0 {
+			t.Fatalf("workers=%d: %v", workers, rep.FirstErr())
+		}
+		for i := range rep.Jobs {
+			if rep.Jobs[i].Coverage == nil {
+				t.Fatalf("workers=%d: job %d has no coverage report", workers, i)
+			}
+		}
+		var j, c bytes.Buffer
+		if err := rep.WriteJSON(&j, RenderOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&c, RenderOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := render(1)
+	j8, c8 := render(8)
+	if j1 != j8 {
+		t.Errorf("coverage JSON differs between workers=1 and workers=8:\n--- 1\n%s\n--- 8\n%s", j1, j8)
+	}
+	if c1 != c8 {
+		t.Errorf("coverage CSV differs between workers=1 and workers=8:\n--- 1\n%s\n--- 8\n%s", c1, c8)
+	}
+	if !strings.Contains(j1, `"coverage"`) {
+		t.Error("coverage block missing from JSON")
+	}
+	if !strings.Contains(c1, "coverage") {
+		t.Error("coverage column missing from CSV")
+	}
+}
+
+func TestNoCoverageWithoutFlag(t *testing.T) {
+	jobs := Matrix([]string{"s27"}, []int{4}, []int{50}, []int64{1})
+	rep, err := Run(context.Background(), jobs, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs[0].Coverage != nil {
+		t.Fatal("coverage report attached without Config.Coverage")
+	}
+	var c bytes.Buffer
+	if err := rep.WriteCSV(&c, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c.String(), "coverage") {
+		t.Error("coverage column present in a plain sweep")
+	}
+}
