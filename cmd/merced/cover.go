@@ -21,6 +21,8 @@ type coverRun struct {
 	undetected    bool   // list surviving faults in the text form
 	format        string // text, json, csv
 	noTiming      bool   // deterministic output: omit wall-clock fields
+	metrics       bool   // append the campaign.* counter table/object
+	progress      bool   // live done/total batch line on stderr
 }
 
 // runCover compiles the circuit, fault-simulates every cluster of the
@@ -41,17 +43,26 @@ func runCover(ctx context.Context, cr coverRun, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	rep, err := fault.Campaign(ctx, c, r.Partition, fault.CampaignOptions{
+	copt := fault.CampaignOptions{
 		MaxPatterns: cr.maxPatterns,
 		Seed:        cr.seed,
 		Workers:     cr.workers,
 		Collapse:    !cr.noCollapse,
-	})
+	}
+	var prog *progressLine
+	if cr.progress {
+		prog = newProgressLine(stderr, "batches")
+		copt.Progress = prog.update
+	}
+	rep, err := fault.Campaign(ctx, c, r.Partition, copt)
+	if prog != nil {
+		prog.finish()
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	opts := fault.RenderOptions{Timing: !cr.noTiming, Undetected: cr.undetected}
+	opts := fault.RenderOptions{Timing: !cr.noTiming, Undetected: cr.undetected, Metrics: cr.metrics}
 	switch cr.format {
 	case "", "text":
 		err = rep.WriteText(stdout, opts)

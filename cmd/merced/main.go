@@ -50,6 +50,16 @@
 // covering whichever mode ran:
 //
 //	merced -cover -circuit s1423 -lk 12 -cpuprofile cover.pprof
+//
+// Observability flags compose with every mode and never change the report:
+// `-trace out.json` exports a Chrome trace_event file with one lane per
+// worker goroutine, `-metrics` appends the deterministic kernel-counter
+// table (a "metrics" object under `-format json`), `-progress` draws a
+// live done/total line on stderr, and `-log-level`/`-log-format` enable
+// structured logging (off by default).
+//
+//	merced -sweep -circuits small -lks 16,24 -trace sweep.json -progress
+//	merced -cover -circuit s1423 -lk 12 -metrics -log-level info
 package main
 
 import (
@@ -68,6 +78,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emit"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/ppet"
 	"repro/internal/report"
 	"repro/internal/retime"
@@ -107,11 +118,17 @@ func main() {
 	undetected := flag.Bool("undetected", false, "with -cover: list surviving faults in the text report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path (open in chrome://tracing or Perfetto)")
+	withMetrics := flag.Bool("metrics", false, "append the deterministic kernel-counter table to the report (JSON: a \"metrics\" object)")
+	progress := flag.Bool("progress", false, "with -sweep/-cover: live progress line on stderr (stdout is untouched)")
+	logLevel := flag.String("log-level", "off", "structured-log threshold on stderr (off, debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "structured-log encoding (text, json)")
 	flag.Parse()
 
-	if *lintRules {
-		printRuleCatalog(*jsonOut, os.Stdout)
-		return
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merced:", err)
+		os.Exit(1)
 	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
@@ -120,7 +137,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The rule catalog sits inside the profiled region like every other
+	// mode, so `-lint -rules -cpuprofile` composes instead of silently
+	// dropping the profile.
+	if *lintRules {
+		printRuleCatalog(*jsonOut, os.Stdout)
+		stopProfiles()
+		return
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder()
+	}
+	ctx = obs.With(ctx, rec, 0) // no-op when rec is nil
+	ctx = obs.WithLogger(ctx, logger)
 	var code int
 	switch {
 	// -sweep wins over -lint: the combination means "gate every sweep job
@@ -133,6 +165,7 @@ func main() {
 			noRetime: *noRetime, lint: *doLint, format: *format, noTiming: *noTiming,
 			cacheStats: *cacheStats, noCache: *noCache,
 			coverage: *sweepCoverage, coverageMaxPatterns: *maxPatterns,
+			metrics: *withMetrics, progress: *progress,
 		}, os.Stdout, os.Stderr)
 	case *doLint:
 		code = runLint(lintRun{
@@ -147,17 +180,26 @@ func main() {
 			maxPatterns: *maxPatterns, workers: *workers,
 			noCollapse: *noCollapse, undetected: *undetected,
 			format: *format, noTiming: *noTiming,
+			metrics: *withMetrics, progress: *progress,
 		}, os.Stdout, os.Stderr)
 	default:
 		code = runReport(ctx, reportRun{
 			file: *file, circuit: *circuit,
 			lk: *lk, beta: *beta, seed: *seed,
 			verbose: *verbose, noRetime: *noRetime, minPeriod: *minPeriod,
-			emitPath: *emitPath,
+			emitPath: *emitPath, metrics: *withMetrics,
 		}, os.Stdout, os.Stderr)
 	}
 	stop()
 	stopProfiles()
+	if rec != nil {
+		if err := rec.WriteTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "merced:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
 	os.Exit(code)
 }
 
@@ -206,6 +248,7 @@ type reportRun struct {
 	noRetime      bool
 	minPeriod     bool
 	emitPath      string
+	metrics       bool
 }
 
 // runReport is the default single-compilation mode, factored so the
@@ -228,6 +271,14 @@ func runReport(ctx context.Context, rr reportRun, stdout, stderr io.Writer) int 
 		return fail(err)
 	}
 	printReport(stdout, c, r, rr.lk, rr.verbose)
+	if rr.metrics {
+		m := obs.NewMetrics()
+		r.Counters.AddTo(m)
+		fmt.Fprintln(stdout)
+		if err := m.WriteTable(stdout); err != nil {
+			return fail(err)
+		}
+	}
 
 	if rr.minPeriod {
 		cg := retime.Build(r.Graph)

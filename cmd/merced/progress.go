@@ -1,0 +1,67 @@
+package main
+
+// progressLine is the `-progress` live indicator: a single carriage-return
+// rewritten line of "done/total noun (pct, eta)" on stderr. It exists so
+// long sweeps and campaigns are watchable without perturbing stdout — the
+// report stream stays byte-identical whether the flag is set or not, which
+// the golden tests rely on. update is safe to call concurrently from pool
+// workers.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+type progressLine struct {
+	mu       sync.Mutex
+	w        io.Writer
+	noun     string // "jobs" for sweeps, "batches" for campaigns
+	start    time.Time
+	last     int // width of the previous render, for blanking shrink
+	finished bool
+}
+
+func newProgressLine(w io.Writer, noun string) *progressLine {
+	return &progressLine{w: w, noun: noun, start: time.Now()}
+}
+
+// update rewrites the line in place. The ETA is the naive linear estimate
+// elapsed*(total-done)/done, which is honest for the homogeneous batches
+// these pools run; it is omitted until the first unit completes.
+func (p *progressLine) update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished || total <= 0 {
+		return
+	}
+	line := fmt.Sprintf("%d/%d %s (%.0f%%)", done, total, p.noun,
+		100*float64(done)/float64(total))
+	if done > 0 && done < total {
+		elapsed := time.Since(p.start)
+		eta := time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+		line += ", eta " + eta.Round(time.Second).String()
+	}
+	pad := ""
+	if n := p.last - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.last = len(line)
+}
+
+// finish terminates the line with a newline (once, and only if anything was
+// drawn) so subsequent stderr output starts on a fresh line.
+func (p *progressLine) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished {
+		return
+	}
+	p.finished = true
+	if p.last > 0 {
+		fmt.Fprintln(p.w)
+	}
+}

@@ -34,6 +34,9 @@ type sweepRun struct {
 	// campaign's per-fault pattern budget (0: full pseudo-exhaustive).
 	coverage            bool
 	coverageMaxPatterns uint64
+
+	metrics  bool // append the deterministic kernel-counter table/object
+	progress bool // live done/total line on stderr (stdout untouched)
 }
 
 // runSweep executes the batch mode and returns the process exit code: 0
@@ -50,7 +53,7 @@ func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	rep, err := sweep.Run(ctx, jobs, sweep.Config{
+	scfg := sweep.Config{
 		Workers:             cfg.workers,
 		JobTimeout:          cfg.jobTimeout,
 		NoRetimeSolver:      cfg.noRetime,
@@ -58,12 +61,21 @@ func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
 		NoCache:             cfg.noCache,
 		Coverage:            cfg.coverage,
 		CoverageMaxPatterns: cfg.coverageMaxPatterns,
-	})
+	}
+	var prog *progressLine
+	if cfg.progress {
+		prog = newProgressLine(stderr, "jobs")
+		scfg.Progress = prog.update
+	}
+	rep, err := sweep.Run(ctx, jobs, scfg)
+	if prog != nil {
+		prog.finish()
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	opts := sweep.RenderOptions{Timing: !cfg.noTiming, CacheStats: cfg.cacheStats}
+	opts := sweep.RenderOptions{Timing: !cfg.noTiming, CacheStats: cfg.cacheStats, Metrics: cfg.metrics}
 	switch cfg.format {
 	case "", "text":
 		err = rep.WriteText(stdout, opts)

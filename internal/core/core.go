@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/retime"
 )
@@ -104,6 +105,53 @@ type Phases struct {
 	Retime   time.Duration
 }
 
+// KernelCounters are the hot-kernel work counters of one compilation — the
+// iteration figures the paper's evaluation reports (and that convergence-
+// metric studies of flow-based retiming track), pulled off the stage result
+// structs after the fact so the kernels themselves stay uninstrumented.
+// Unlike Phases, which attributes a shared cached stage's cost only to the
+// job that computed it, counters describe the artifacts a job *consumed*:
+// two jobs sharing a Saturated artifact report identical flow counters, so
+// aggregated metrics are independent of caching and worker count.
+type KernelCounters struct {
+	// FlowTrees and FlowInjected summarise Saturate_Network: Dijkstra trees
+	// grown and total flow injected across all sources.
+	FlowTrees    int64
+	FlowInjected float64
+	// PartitionSteps / PartitionResplits / PartitionDFSVisits summarise
+	// Make_Group: boundary iterations, failed-split backtracks, and
+	// Make_Set node visits.
+	PartitionSteps     int64
+	PartitionResplits  int64
+	PartitionDFSVisits int64
+	// RefineMoves counts accepted boundary-refinement moves.
+	RefineMoves int64
+	// SolverRounds / SPFARelaxations / SPFACheckpoints summarise the
+	// Leiserson-Saxe solver (zero when it was skipped); RetimeCovered and
+	// RetimeDemoted split its cut-net outcome.
+	SolverRounds    int64
+	SPFARelaxations int64
+	SPFACheckpoints int64
+	RetimeCovered   int64
+	RetimeDemoted   int64
+}
+
+// AddTo accumulates the counters into the metrics registry under the
+// canonical metric names shared by every report mode.
+func (k KernelCounters) AddTo(m *obs.Metrics) {
+	m.Add("flow.trees", k.FlowTrees)
+	m.AddGauge("flow.injected_flow", k.FlowInjected)
+	m.Add("partition.boundary_steps", k.PartitionSteps)
+	m.Add("partition.resplits", k.PartitionResplits)
+	m.Add("partition.dfs_visits", k.PartitionDFSVisits)
+	m.Add("partition.refine_moves", k.RefineMoves)
+	m.Add("retime.solver_rounds", k.SolverRounds)
+	m.Add("retime.spfa_relaxations", k.SPFARelaxations)
+	m.Add("retime.spfa_checkpoints", k.SPFACheckpoints)
+	m.Add("retime.covered_cuts", k.RetimeCovered)
+	m.Add("retime.demoted_cuts", k.RetimeDemoted)
+}
+
 // Result is a complete Merced compilation.
 type Result struct {
 	Circuit   *netlist.Circuit
@@ -123,6 +171,9 @@ type Result struct {
 	Lint    []lint.Diagnostic
 	Elapsed time.Duration
 	Phases  Phases
+	// Counters are the hot-kernel work counters of the stages this result
+	// consumed (shared cached stages included).
+	Counters KernelCounters
 }
 
 // LintError aborts a compilation whose artifacts violate design rules. The
@@ -213,7 +264,9 @@ func Compile(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, err
 	}
 
 	// Parse (normalization happens here, once) and STEPs 1-2.
+	psp := obs.Start(ctx, "stage", "parse "+c.Name)
 	p, err := NewParsed(c)
+	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: building graph: %w", err)
 	}
@@ -283,6 +336,29 @@ func ratio(cbitArea, circuitArea float64) float64 {
 		return 0
 	}
 	return 100 * cbitArea / (circuitArea + cbitArea)
+}
+
+// collectCounters pulls the kernel work counters off the stage artifacts a
+// result consumed. Counters follow consumption, not computation: a cached
+// Saturated artifact reports the same flow counters to every job that uses
+// it, keeping metric aggregates independent of caching and scheduling.
+func collectCounters(s *Saturated, pt *Partitioned, pr *Priced) KernelCounters {
+	k := KernelCounters{
+		FlowTrees:          int64(s.res.Trees),
+		FlowInjected:       s.res.InjectedTotal(),
+		PartitionSteps:     int64(pt.part.BoundarySteps),
+		PartitionResplits:  int64(pt.part.Resplits),
+		PartitionDFSVisits: int64(pt.part.DFSVisits),
+		RefineMoves:        int64(pt.part.RefineMoves),
+	}
+	if sol := pr.retiming; sol != nil {
+		k.SolverRounds = int64(sol.Iterations)
+		k.SPFARelaxations = int64(sol.Relaxations)
+		k.SPFACheckpoints = int64(sol.Checkpoints)
+		k.RetimeCovered = int64(len(sol.Covered))
+		k.RetimeDemoted = int64(len(sol.Demoted))
+	}
+	return k
 }
 
 func solveRetiming(ctx context.Context, g *graph.G, p *partition.Result, f *flow.Result) (*retime.Solution, *retime.CombGraph, error) {

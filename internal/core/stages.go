@@ -31,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/retime"
 )
@@ -124,6 +125,8 @@ func Analyze(ctx context.Context, p *Parsed) (*Analyzed, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: building graph: %w", err)
 	}
+	sp := obs.Start(ctx, "stage", "analyze "+p.c.Name)
+	defer sp.End()
 	mark := time.Now()
 	g, err := graph.FromCircuit(p.c)
 	if err != nil {
@@ -181,6 +184,8 @@ func SaturateNetwork(ctx context.Context, a *Analyzed, cfg flow.Config) (*Satura
 	if a == nil {
 		return nil, errors.New("core: nil analyzed artifact")
 	}
+	sp := obs.Start(ctx, "stage", "saturate "+a.parsed.c.Name)
+	defer sp.End()
 	mark := time.Now()
 	fres, err := flow.Saturate(ctx, a.g, cfg)
 	if err != nil {
@@ -283,6 +288,8 @@ func MakePartition(ctx context.Context, s *Saturated, opt Options) (*Partitioned
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: make group: %w", err)
 	}
+	sp := obs.Start(ctx, "stage", "partition "+s.analyzed.parsed.c.Name)
+	defer sp.End()
 	mark := time.Now()
 	d := append([]float64(nil), s.res.D...)
 	pres, err := partition.MakeGroup(s.analyzed.g, s.analyzed.scc, d,
@@ -362,6 +369,8 @@ func Price(ctx context.Context, pt *Partitioned, opt Options) (*Priced, error) {
 		return nil, errors.New("core: nil partitioned artifact")
 	}
 	s := pt.saturated
+	sp := obs.Start(ctx, "stage", "price "+s.analyzed.parsed.c.Name)
+	defer sp.End()
 	pr := &Priced{partitioned: pt, key: pt.PriceKey(opt)}
 	if opt.SolveRetiming {
 		limit := opt.MaxSolveNodes
@@ -457,6 +466,7 @@ func finish(ctx context.Context, s *Saturated, opt Options, lintDiags []lint.Dia
 	res.Phases.Group = pt.GroupTime
 	res.Phases.Assign = pt.AssignTime
 	res.Phases.Retime = pr.RetimeTime
+	res.Counters = collectCounters(s, pt, pr)
 
 	// The artifact-layer lint gate: a violated partition invariant or an
 	// illegal retiming here means the area figures are fiction.

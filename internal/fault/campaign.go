@@ -30,9 +30,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -66,6 +68,12 @@ type CampaignOptions struct {
 	// DefaultTriagePatterns. Budgets at or below the triage budget skip
 	// the escalation stage entirely.
 	TriagePatterns uint64
+	// Progress, when non-nil, is called after every finished batch with
+	// the cumulative batch count and the total known so far (the total
+	// grows once when the escalation stage is packed). Called concurrently
+	// from pool workers; it must be cheap and must not touch the report
+	// stream.
+	Progress func(done, total int)
 }
 
 // SegmentCoverage is one cluster's campaign outcome.
@@ -93,8 +101,14 @@ type CampaignReport struct {
 	// of them were triage, the rest escalation.
 	Batches       int
 	TriageBatches int
-	Workers       int
-	Elapsed       time.Duration
+	// TriageDetected counts the representatives already detected when the
+	// triage stage finished; Survivors counts the representatives repacked
+	// into escalation batches. Both are deterministic for fixed options
+	// (Survivors excludes segments whose full budget fit inside triage).
+	TriageDetected int
+	Survivors      int
+	Workers        int
+	Elapsed        time.Duration
 }
 
 // Ratio returns the aggregate detected/total (1.0 when empty).
@@ -135,6 +149,8 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sp := obs.Start(ctx, "campaign", "campaign "+c.Name)
+	defer sp.End()
 	start := time.Now()
 	workers := opt.Workers
 	if workers <= 0 {
@@ -212,10 +228,27 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 	}
 	rep := &CampaignReport{Workers: workers}
 	rep.TriageBatches = len(jobs)
-	if err := runBatchPool(ctx, segs, jobs, workers, opt); err != nil {
+	// Progress totals: the triage stage total is known now; the escalation
+	// total is appended once its jobs are packed. done is cumulative across
+	// both stages.
+	var batchesDone atomic.Int64
+	tick := func(total int) func() {
+		if opt.Progress == nil {
+			return nil
+		}
+		return func() { opt.Progress(int(batchesDone.Add(1)), total) }
+	}
+	if err := runBatchPool(ctx, segs, jobs, workers, opt, tick(len(jobs))); err != nil {
 		return nil, err
 	}
 	rep.Batches = len(jobs)
+	for _, cs := range segs {
+		for _, d := range cs.det {
+			if d {
+				rep.TriageDetected++
+			}
+		}
+	}
 
 	// Stage two: repack the survivors of segments that still have budget
 	// left and escalate to the full pseudo-exhaustive budget. Dropped
@@ -232,6 +265,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 				survivors = append(survivors, ri)
 			}
 		}
+		rep.Survivors += len(survivors)
 		for lo := 0; lo < len(survivors); lo += 63 {
 			hi := lo + 63
 			if hi > len(survivors) {
@@ -242,7 +276,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 		}
 	}
 	if len(jobs) > 0 {
-		if err := runBatchPool(ctx, segs, jobs, workers, opt); err != nil {
+		if err := runBatchPool(ctx, segs, jobs, workers, opt, tick(rep.TriageBatches+len(jobs))); err != nil {
 			return nil, err
 		}
 		rep.Batches += len(jobs)
@@ -278,6 +312,9 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 		rep.Simulated += sc.Simulated
 	}
 	rep.Elapsed = time.Since(start)
+	obs.L(ctx).Info("campaign done", "circuit", c.Name,
+		"faults", rep.Total, "detected", rep.Detected,
+		"batches", rep.Batches, "elapsed", rep.Elapsed)
 	return rep, nil
 }
 
@@ -286,8 +323,9 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 // on the job itself (segment, rep set, budget, seq), so det is identical
 // for any worker count; distinct jobs never share det entries, making the
 // concurrent writes race-free. The returned error is the first failing
-// job's error in job order.
-func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob, workers int, opt CampaignOptions) error {
+// job's error in job order. tick, when non-nil, is called once per
+// finished (or skipped-by-cancellation) batch.
+func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob, workers int, opt CampaignOptions, tick func()) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -299,8 +337,18 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// A single-worker pool runs on the caller's schedule in effect;
+			// keep its events on the caller's trace lane (e.g. a sweep
+			// worker running an embedded campaign). A real pool gets one
+			// lane per goroutine.
+			wctx := ctx
+			if workers > 1 {
+				wctx = obs.LaneContext(ctx, fmt.Sprintf("campaign-worker-%d", w))
+			}
+			traced := obs.Enabled(wctx)
+			log := obs.L(wctx)
 			var batchBuf [63]sim.Fault // per-worker batch assembly buffer
 			// One env slot per worker: a segment's jobs are contiguous, so
 			// the slot rarely turns over, and each worker keeps at most one
@@ -318,6 +366,9 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 				j := &jobs[i]
 				if err := ctx.Err(); err != nil {
 					errs[i] = fmt.Errorf("fault: batch %d not started: %w", j.seq, err)
+					if tick != nil {
+						tick()
+					}
 					continue
 				}
 				cs := segs[j.seg]
@@ -332,13 +383,22 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 				for _, ri := range j.reps {
 					batch = append(batch, cs.reps[ri])
 				}
+				var sp obs.Span
+				if traced {
+					sp = obs.Start(wctx, "campaign", fmt.Sprintf("batch c%d b%d", cs.cluster.ID, j.seq))
+				}
 				// Session seeds come from a splitmix64 stream keyed by
 				// (campaign seed, job sequence): deterministic, decorrelated,
 				// and far cheaper than seeding a math/rand source per job.
 				sm := splitmix64(mixSeed(opt.Seed, j.seq))
 				detected, err := env.runBatch(ctx, batch, j.budget, opt.WarmUp, j.sessions, sm.next)
+				sp.End()
 				if err != nil {
 					errs[i] = fmt.Errorf("fault: cluster %d batch %d: %w", cs.cluster.ID, j.seq, err)
+					log.Warn("campaign batch failed", "cluster", cs.cluster.ID, "batch", j.seq, "err", err)
+					if tick != nil {
+						tick()
+					}
 					continue
 				}
 				for k, ri := range j.reps {
@@ -346,8 +406,11 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 						cs.det[ri] = true
 					}
 				}
+				if tick != nil {
+					tick()
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		idx <- i

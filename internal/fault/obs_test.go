@@ -1,0 +1,130 @@
+package fault
+
+// Observability-contract tests for the campaign engine: tracing must not
+// change the report, the campaign.* metrics must be identical for any
+// worker count, and the progress callback must fire once per batch.
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Tracing is a pure side channel: the report is byte-identical with a live
+// recorder, and a multi-worker pool registers one lane per worker while a
+// single-worker pool stays on the caller's lane.
+func TestCampaignTracedByteIdentical(t *testing.T) {
+	c, p := compilePartition(t, "s510", 8)
+	opt := CampaignOptions{Seed: 7, Workers: 4, Collapse: true, TriagePatterns: 64}
+	plain, err := Campaign(context.Background(), c, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	traced, err := Campaign(obs.With(context.Background(), rec, 0), c, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderAll(t, plain), renderAll(t, traced)) {
+		t.Fatal("report differs with tracing enabled")
+	}
+	// Whole-campaign span plus one span per batch.
+	if want := 1 + traced.Batches; rec.Len() != want {
+		t.Errorf("recorded %d spans, want %d (1 campaign + %d batches)", rec.Len(), want, traced.Batches)
+	}
+	workerLanes := 0
+	for _, name := range rec.LaneNames() {
+		if len(name) > 16 && name[:16] == "campaign-worker-" {
+			workerLanes++
+		}
+	}
+	if workerLanes == 0 {
+		t.Errorf("no campaign-worker lanes registered: %v", rec.LaneNames())
+	}
+
+	// Workers == 1: batches stay on the caller's lane (lane inheritance for
+	// campaigns embedded in sweep jobs).
+	rec1 := obs.NewRecorder()
+	opt.Workers = 1
+	if _, err := Campaign(obs.With(context.Background(), rec1, 0), c, p, opt); err != nil {
+		t.Fatal(err)
+	}
+	if names := rec1.LaneNames(); len(names) != 1 || names[0] != "main" {
+		t.Errorf("single-worker campaign registered extra lanes: %v", names)
+	}
+}
+
+// The campaign.* metrics are a pure function of the (deterministic) report,
+// so the rendered table is identical for any worker count.
+func TestCampaignMetricsAcrossWorkers(t *testing.T) {
+	c, p := compilePartition(t, "s510", 8)
+	opt := CampaignOptions{Seed: 7, Collapse: true, TriagePatterns: 64}
+	render := func(workers int) (string, *CampaignReport) {
+		opt.Workers = workers
+		rep, err := Campaign(context.Background(), c, p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Metrics().WriteTable(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep
+	}
+	base, rep := render(1)
+	for _, workers := range []int{2, 8} {
+		if got, _ := render(workers); got != base {
+			t.Errorf("metrics table differs at workers=%d:\n--- workers=1\n%s\n--- variant\n%s", workers, base, got)
+		}
+	}
+	// The stage-boundary counters must be internally consistent.
+	if rep.TriageDetected > rep.Detected {
+		t.Errorf("TriageDetected %d > Detected %d", rep.TriageDetected, rep.Detected)
+	}
+	if rep.Survivors == 0 && rep.Batches > rep.TriageBatches {
+		t.Error("escalation batches exist but Survivors == 0")
+	}
+	m := rep.Metrics()
+	if m.Counters["campaign.batches"] != int64(rep.Batches) {
+		t.Errorf("campaign.batches = %d, want %d", m.Counters["campaign.batches"], rep.Batches)
+	}
+	if m.Counters["campaign.triage_detected"] != int64(rep.TriageDetected) {
+		t.Errorf("campaign.triage_detected = %d, want %d", m.Counters["campaign.triage_detected"], rep.TriageDetected)
+	}
+}
+
+// Progress fires once per batch, cumulatively, with a total that grows
+// exactly once when the escalation stage is packed.
+func TestCampaignProgressCountsBatches(t *testing.T) {
+	c, p := compilePartition(t, "s510", 8)
+	var mu sync.Mutex
+	calls, maxDone, lastTotal := 0, 0, 0
+	opt := CampaignOptions{
+		Seed: 7, Workers: 4, Collapse: true, TriagePatterns: 64,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if done > maxDone {
+				maxDone = done
+			}
+			if total < lastTotal {
+				t.Errorf("total shrank: %d after %d", total, lastTotal)
+			}
+			lastTotal = total
+		},
+	}
+	rep, err := Campaign(context.Background(), c, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != rep.Batches || maxDone != rep.Batches {
+		t.Errorf("progress calls = %d, max done = %d, want %d", calls, maxDone, rep.Batches)
+	}
+	if lastTotal != rep.Batches {
+		t.Errorf("final total = %d, want %d", lastTotal, rep.Batches)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -24,6 +25,10 @@ type RenderOptions struct {
 	// Undetected lists each cluster's surviving faults in the text form
 	// (they are always present in JSON).
 	Undetected bool
+	// Metrics appends the campaign.* counter table (deterministic for any
+	// worker count) to the text form and a "metrics" object to the JSON
+	// form. The CSV form never carries metrics.
+	Metrics bool
 }
 
 type segmentJSON struct {
@@ -50,6 +55,7 @@ type campaignJSON struct {
 	TriageBatches int           `json:"triage_batches"`
 	Workers       int           `json:"workers,omitempty"`
 	ElapsedMS     float64       `json:"elapsed_ms,omitempty"`
+	Metrics       *obs.Metrics  `json:"metrics,omitempty"`
 }
 
 // WriteJSON renders the report as indented JSON: a "segments" array in
@@ -81,6 +87,9 @@ func (r *CampaignReport) WriteJSON(w io.Writer, opts RenderOptions) error {
 	if opts.Timing {
 		out.Workers = r.Workers
 		out.ElapsedMS = float64(r.Elapsed) / float64(time.Millisecond)
+	}
+	if opts.Metrics {
+		out.Metrics = r.Metrics()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -123,6 +132,14 @@ func (r *CampaignReport) WriteText(w io.Writer, opts RenderOptions) error {
 					return err
 				}
 			}
+		}
+	}
+	if opts.Metrics {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := r.Metrics().WriteTable(w); err != nil {
+			return err
 		}
 	}
 	if !opts.Timing {

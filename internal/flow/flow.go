@@ -63,8 +63,24 @@ type Result struct {
 	Flow []float64
 	// Visits[v] is the visit counter per node.
 	Visits []int
+	// Injected[v] is the total flow injected by shortest-path trees rooted
+	// at source v (delta per tree net); summing it over sources equals
+	// summing Flow over nets. The paper's evaluation reports per-phase
+	// iteration cost — this is the saturation phase's work, attributed to
+	// the sources that caused it.
+	Injected []float64
 	// Trees is the number of Dijkstra trees grown.
 	Trees int
+}
+
+// InjectedTotal returns the total injected flow, summed in source order so
+// the float result is deterministic.
+func (r *Result) InjectedTotal() float64 {
+	total := 0.0
+	for _, f := range r.Injected {
+		total += f
+	}
+	return total
 }
 
 // Saturate runs the modified Saturate_Network of Table 3 on g. The context
@@ -79,9 +95,10 @@ func Saturate(ctx context.Context, g *graph.G, cfg Config) (*Result, error) {
 	}
 	n := g.NumNodes()
 	res := &Result{
-		D:      make([]float64, g.NumNets()),
-		Flow:   make([]float64, g.NumNets()),
-		Visits: make([]int, n),
+		D:        make([]float64, g.NumNets()),
+		Flow:     make([]float64, g.NumNets()),
+		Visits:   make([]int, n),
+		Injected: make([]float64, n),
 	}
 	for e := range res.D {
 		res.D[e] = 1 // STEP 1.1
@@ -149,6 +166,7 @@ func Saturate(ctx context.Context, g *graph.G, cfg Config) (*Result, error) {
 			res.Flow[e] += cfg.Delta
 			res.D[e] = math.Exp(invCap * res.Flow[e])
 		}
+		res.Injected[v] += cfg.Delta * float64(len(tree))
 		// A source with no outgoing reachability still counts as sampled,
 		// which the bump above already handled.
 	}

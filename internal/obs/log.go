@@ -1,0 +1,77 @@
+package obs
+
+// The structured logger. Drivers put a *slog.Logger in the context; L
+// returns it, or a shared never-enabled logger when absent, so call sites
+// log unconditionally and the disabled cost is slog's Enabled check. Logs
+// go to stderr (or whatever writer the CLI chose) — never to the report
+// stream — so piped reports stay clean at any level.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+type loggerKey struct{}
+
+// nopLogger's handler reports every level as disabled, so the Log fast
+// path returns before formatting.
+var nopLogger = slog.New(nopHandler{})
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// WithLogger returns a context carrying l. A nil l returns ctx unchanged.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// L returns ctx's logger, or the shared no-op logger when none is set (or
+// ctx is nil), so callers never check for nil.
+func L(ctx context.Context) *slog.Logger {
+	if ctx == nil {
+		return nopLogger
+	}
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return nopLogger
+}
+
+// NewLogger builds a logger writing to w at the named level ("debug",
+// "info", "warn", "error") in the named format ("text" or "json"). The
+// level "off" (or "") returns nil — the disabled state WithLogger ignores.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "", "off":
+		return nil, nil
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want off, debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

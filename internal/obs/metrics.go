@@ -1,0 +1,78 @@
+package obs
+
+// The deterministic metrics table. Counters and gauges are aggregated by
+// the drivers (sweep, campaign, CLI) from per-job result structs in job
+// order — never from concurrent callbacks — so a table is byte-identical
+// for any worker count, with or without tracing. Keys render sorted; the
+// JSON form relies on encoding/json's sorted map keys for the same
+// property.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Metrics is a named counter/gauge registry. The zero value is not usable;
+// call NewMetrics. Metrics is not safe for concurrent mutation — aggregate
+// from one goroutine, in a deterministic order.
+type Metrics struct {
+	// Counters holds integer work counters (tree iterations, relaxations,
+	// batches, cache hits).
+	Counters map[string]int64 `json:"counters"`
+	// Gauges holds real-valued aggregates (injected flow).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{Counters: make(map[string]int64), Gauges: make(map[string]float64)}
+}
+
+// Add increments counter name by v.
+func (m *Metrics) Add(name string, v int64) { m.Counters[name] += v }
+
+// AddGauge increments gauge name by v.
+func (m *Metrics) AddGauge(name string, v float64) { m.Gauges[name] += v }
+
+// Names returns every counter and gauge name, sorted.
+func (m *Metrics) Names() []string {
+	names := make([]string, 0, len(m.Counters)+len(m.Gauges))
+	for k := range m.Counters {
+		names = append(names, k)
+	}
+	for k := range m.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteTable renders the registry as an aligned two-column table, one
+// metric per line in sorted name order. Gauges render with %g, counters in
+// decimal; the output is deterministic for deterministic inputs.
+func (m *Metrics) WriteTable(w io.Writer) error {
+	names := m.Names()
+	width := len("metric")
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  value\n", width, "metric"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		var val string
+		if c, ok := m.Counters[n]; ok {
+			val = strconv.FormatInt(c, 10)
+		} else {
+			val = strconv.FormatFloat(m.Gauges[n], 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, n, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

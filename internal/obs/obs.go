@@ -1,0 +1,101 @@
+// Package obs is the zero-overhead-when-disabled instrumentation layer of
+// the compiler: hierarchical spans over the staged artifact pipeline and the
+// worker pools (exported as Chrome trace_event JSON, one lane per worker
+// goroutine), a deterministic counter/gauge table fed from the hot kernels'
+// result structs, and a log/slog-based structured logger.
+//
+// Design rules, in priority order:
+//
+//  1. Disabled is free. No recorder in the context means Start returns the
+//     zero Span and End is a nil check; hot kernels (Saturate's tree loop,
+//     the retiming SPFA, the campaign's pattern cycling) are never
+//     instrumented at all — they count work in plain local fields returned
+//     on their result structs, and the obs layer aggregates those counters
+//     after the fact.
+//  2. Observability never perturbs output. Spans and logs go to side
+//     channels (a trace file, stderr); counters are pure functions of
+//     per-job results aggregated in job order, so a metrics table is
+//     byte-identical for any worker count and identical with tracing on or
+//     off.
+//  3. Lanes are goroutines. Every pool worker claims a named lane
+//     (sweep-worker-N, campaign-worker-N); nested single-threaded work
+//     (a stage computed inside a job, a single-worker campaign inside a
+//     sweep job) inherits the lane of the goroutine it actually runs on.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// scope is the context payload: which recorder to write spans to and which
+// trace lane (thread id) this goroutine's spans belong on.
+type scope struct {
+	rec  *Recorder
+	lane int
+}
+
+type scopeKey struct{}
+
+// With returns a context whose spans record to rec on the given lane.
+// A nil rec returns ctx unchanged (the disabled state).
+func With(ctx context.Context, rec *Recorder, lane int) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, &scope{rec: rec, lane: lane})
+}
+
+// LaneContext rescopes ctx onto the named lane of its current recorder,
+// registering the lane on first use. Worker goroutines call it once at
+// startup; without a recorder it returns ctx unchanged.
+func LaneContext(ctx context.Context, name string) context.Context {
+	sc := from(ctx)
+	if sc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, &scope{rec: sc.rec, lane: sc.rec.Lane(name)})
+}
+
+// from extracts the scope, nil when disabled. ctx may be nil.
+func from(ctx context.Context) *scope {
+	if ctx == nil {
+		return nil
+	}
+	sc, _ := ctx.Value(scopeKey{}).(*scope)
+	return sc
+}
+
+// Enabled reports whether ctx carries a recorder. Call sites that build a
+// span name with fmt in a loop guard the formatting behind it; plain
+// string-literal spans can call Start unconditionally.
+func Enabled(ctx context.Context) bool { return from(ctx) != nil }
+
+// Span is an open span. The zero Span (disabled path) is valid and End on
+// it is a no-op, so call sites need no conditionals.
+type Span struct {
+	rec   *Recorder
+	lane  int
+	cat   string
+	name  string
+	start time.Duration
+}
+
+// Start opens a span named name in category cat on ctx's lane. It returns
+// the zero Span when ctx carries no recorder — a single pointer check.
+func Start(ctx context.Context, cat, name string) Span {
+	sc := from(ctx)
+	if sc == nil {
+		return Span{}
+	}
+	return Span{rec: sc.rec, lane: sc.lane, cat: cat, name: name, start: sc.rec.now()}
+}
+
+// End closes the span and records it. No-op on the zero Span.
+func (s Span) End() {
+	if s.rec == nil {
+		return
+	}
+	end := s.rec.now()
+	s.rec.record(s.cat, s.name, s.lane, s.start, end-s.start)
+}

@@ -1,0 +1,147 @@
+package obs
+
+// The trace Recorder and its Chrome trace_event exporter. The output is the
+// JSON-array flavour of the format — loadable in chrome://tracing and
+// Perfetto — with one complete ("ph":"X") event per span and one metadata
+// ("ph":"M") thread_name event per lane. Events are sorted by start time
+// before writing, so timestamps are monotonically nondecreasing within every
+// lane (a property the schema test pins).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects spans for one run. It is safe for concurrent use; all
+// methods on a nil *Recorder are no-ops via the Span zero-value path.
+type Recorder struct {
+	epoch time.Time
+
+	mu        sync.Mutex
+	events    []event
+	laneIDs   map[string]int
+	laneNames []string
+}
+
+// event is one recorded span, timed relative to the recorder epoch.
+type event struct {
+	cat   string
+	name  string
+	lane  int
+	start time.Duration
+	dur   time.Duration
+}
+
+// NewRecorder returns an empty recorder whose epoch is now. Lane 0 is
+// pre-registered as "main" for work on the invoking goroutine.
+func NewRecorder() *Recorder {
+	r := &Recorder{epoch: time.Now(), laneIDs: make(map[string]int)}
+	r.laneIDs["main"] = 0
+	r.laneNames = []string{"main"}
+	return r
+}
+
+// Lane returns the thread id for the named lane, registering it on first
+// use. Ids are dense and memoized by name, so a pool run twice (the
+// campaign's triage and escalation stages) reuses its workers' lanes.
+func (r *Recorder) Lane(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.laneIDs[name]; ok {
+		return id
+	}
+	id := len(r.laneNames)
+	r.laneIDs[name] = id
+	r.laneNames = append(r.laneNames, name)
+	return id
+}
+
+// now returns the time since the recorder epoch.
+func (r *Recorder) now() time.Duration { return time.Since(r.epoch) }
+
+// record appends one finished span.
+func (r *Recorder) record(cat, name string, lane int, start, dur time.Duration) {
+	r.mu.Lock()
+	r.events = append(r.events, event{cat: cat, name: name, lane: lane, start: start, dur: dur})
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// LaneNames returns the registered lane names indexed by thread id.
+func (r *Recorder) LaneNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.laneNames...)
+}
+
+// traceEvent is the trace_event wire format (the subset we emit).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usec converts a duration to the format's microsecond floats.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteTrace writes the Chrome trace_event JSON array: process/thread
+// metadata first, then every span sorted by start time (stable, so equal
+// timestamps keep record order). The writer may be called while spans are
+// still being recorded; it snapshots under the lock.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	events := append([]event(nil), r.events...)
+	lanes := append([]string(nil), r.laneNames...)
+	r.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].start < events[j].start })
+
+	out := make([]traceEvent, 0, len(events)+len(lanes)+1)
+	out = append(out, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "merced"},
+	})
+	for tid, name := range lanes {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range events {
+		out = append(out, traceEvent{
+			Name: e.name, Cat: e.cat, Ph: "X",
+			TS: usec(e.start), Dur: usec(e.dur), PID: 1, TID: e.lane,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTraceFile creates path and writes the trace into it.
+func (r *Recorder) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -227,6 +227,9 @@ func AssignCBIT(r *Result, lk int) ([]MergeTrace, error) {
 		outClusters = append(outClusters, c)
 	}
 	nr := finalize(g, r.SCC, outClusters, assign, r.BoundarySteps)
+	nr.DFSVisits = r.DFSVisits
+	nr.Resplits = r.Resplits
+	nr.RefineMoves = r.RefineMoves
 	*r = *nr
 	return trace, nil
 }

@@ -53,7 +53,7 @@ func MakeGroup(g *graph.G, scc *graph.SCCInfo, d []float64, opt Options) (*Resul
 		}
 	}
 
-	steps := 0
+	steps, resplits := 0, 0
 	var final []*Cluster
 	// Initial Make_Set at the maximum boundary (Table 4 STEP 4).
 	b0 := st.maxUncutD(cells)
@@ -89,6 +89,7 @@ func MakeGroup(g *graph.G, scc *graph.SCCInfo, d []float64, opt Options) (*Resul
 		parts := st.makeSet(grp.Nodes, b)
 		if len(parts) == 1 && len(parts[0].Nodes) == len(grp.Nodes) {
 			// The cut didn't disconnect anything yet; keep lowering.
+			resplits++
 			queue = append(queue, parts[0])
 			continue
 		}
@@ -110,7 +111,10 @@ func MakeGroup(g *graph.G, scc *graph.SCCInfo, d []float64, opt Options) (*Resul
 			assign[v] = ci
 		}
 	}
-	return finalize(g, scc, final, assign, steps), nil
+	r := finalize(g, scc, final, assign, steps)
+	r.DFSVisits = st.visits
+	r.Resplits = resplits
+	return r, nil
 }
 
 type groupState struct {
@@ -120,6 +124,9 @@ type groupState struct {
 	opt  Options
 	cut  []bool // net marked as removed
 	cSCC []int  // c(SCC): cuts consumed per component
+
+	// visits counts node pops across every makeSet traversal.
+	visits int
 
 	// Incremental Eq. (6) machinery: per nontrivial component, its intra
 	// nets sorted by initial d descending, and a pointer to the first
@@ -259,6 +266,7 @@ func (st *groupState) makeSet(list []int, boundary float64) []*Cluster {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
+			st.visits++
 			cl.Nodes = append(cl.Nodes, v)
 			// Forward branches.
 			for _, e := range st.g.Out[v] {

@@ -39,6 +39,15 @@ type Result struct {
 	CutNetsOnSCC []int
 	// Boundary iterations consumed by Make_Group (|d(E)| work factor).
 	BoundarySteps int
+	// DFSVisits counts node pops across every Make_Set traversal — the
+	// clustering phase's true work measure.
+	DFSVisits int
+	// Resplits counts boundary lowerings that failed to disconnect a
+	// violating group (the Make_Group backtrack-and-retry path).
+	Resplits int
+	// RefineMoves accumulates accepted boundary-refinement moves applied
+	// to this partition.
+	RefineMoves int
 }
 
 // NumCutNets returns the "nets cut" figure of Tables 10/11.

@@ -163,6 +163,9 @@ func Refine(r *Result, lk int, maxPasses int) int {
 		}
 	}
 	nr := finalize(g, r.SCC, newClusters, newAssign, r.BoundarySteps)
+	nr.DFSVisits = r.DFSVisits
+	nr.Resplits = r.Resplits
+	nr.RefineMoves = r.RefineMoves + moves
 	*r = *nr
 	return moves
 }

@@ -23,6 +23,14 @@ type Solution struct {
 	// Iterations counts label-correcting solver rounds including re-solves
 	// after demotions.
 	Iterations int
+	// Relaxations counts successful SPFA edge relaxations across every
+	// pass (per-component and final global), the solver's true work
+	// measure; related retiming work reports exactly this convergence
+	// metric.
+	Relaxations int
+	// Checkpoints counts the amortised negative-cycle-detection passes the
+	// SPFA runs (one every |vertices| relaxations).
+	Checkpoints int
 }
 
 // Solve finds retiming labels satisfying, for every edge e = (u,v):
@@ -150,6 +158,8 @@ func Solve(ctx context.Context, cg *CombGraph, cutNets map[int]bool, priority ma
 	for i := range sol.Rho {
 		sol.Rho[i] = st.dist[i]
 	}
+	sol.Relaxations = st.relaxations
+	sol.Checkpoints = st.checkpoints
 	for net := range cutNets {
 		if demoted[net] {
 			sol.Demoted = append(sol.Demoted, net)
@@ -170,6 +180,11 @@ type solverState struct {
 	queue    []int
 	color    []int // pred-graph cycle detection scratch
 	stamp    int
+
+	// relaxations and checkpoints accumulate across every spfa call of one
+	// Solve, surfaced on Solution for the metrics layer.
+	relaxations int
+	checkpoints int
 }
 
 func newSolverState(n int) *solverState {
@@ -202,6 +217,7 @@ func (st *solverState) spfa(ctx context.Context, cg *CombGraph, req []int, verti
 	}
 	st.queue = append(st.queue[:0], vertices...)
 	relaxations, nextCheck := 0, len(vertices)
+	defer func() { st.relaxations += relaxations }()
 	for len(st.queue) > 0 {
 		v := st.queue[0]
 		st.queue = st.queue[1:]
@@ -221,6 +237,7 @@ func (st *solverState) spfa(ctx context.Context, cg *CombGraph, req []int, verti
 		}
 		if relaxations >= nextCheck {
 			nextCheck = relaxations + len(vertices)
+			st.checkpoints++
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("retime: solver after %d relaxations: %w", relaxations, err)
 			}

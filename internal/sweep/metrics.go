@@ -1,0 +1,39 @@
+package sweep
+
+// Metrics aggregation for a finished sweep. Counters are pure functions of
+// the per-job results, summed in input order — never collected from
+// concurrent callbacks — so for a given job matrix the table is
+// byte-identical for any worker count, with caching on or off, and with
+// tracing on or off. (Cache counters share -cache-stats's caveat: they are
+// deterministic as long as the cache never evicts, which holds for every
+// paper-scale matrix under the default capacity.)
+
+import "repro/internal/obs"
+
+// Metrics aggregates the sweep's hot-kernel counters, campaign counters
+// (under Config.Coverage), and artifact-cache statistics into a
+// deterministic registry.
+func (r *Report) Metrics() *obs.Metrics {
+	m := obs.NewMetrics()
+	m.Add("sweep.jobs", int64(r.Stats.Jobs))
+	m.Add("sweep.failed", int64(r.Stats.Failed))
+	for i := range r.Jobs {
+		jr := &r.Jobs[i]
+		if jr.Err != nil {
+			continue
+		}
+		jr.Kernels.AddTo(m)
+		if jr.Coverage != nil {
+			jr.Coverage.AddMetrics(m)
+		}
+	}
+	addCacheStage := func(prefix string, s StageStats) {
+		m.Add(prefix+".hits", s.Hits)
+		m.Add(prefix+".misses", s.Misses)
+		m.Add(prefix+".evictions", s.Evictions)
+	}
+	addCacheStage("cache.parsed", r.Cache.Parsed)
+	addCacheStage("cache.analyzed", r.Cache.Analyzed)
+	addCacheStage("cache.saturated", r.Cache.Saturated)
+	return m
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -27,6 +28,11 @@ type RenderOptions struct {
 	// deterministic for a given matrix as long as the cache never evicts,
 	// so the flag composes with Timing=false.
 	CacheStats bool
+	// Metrics appends the aggregated kernel-counter table (see
+	// Report.Metrics) to the text form and a "metrics" object to the JSON
+	// form. The table is deterministic for any worker count, so the flag
+	// composes with Timing=false. The CSV form never carries metrics.
+	Metrics bool
 }
 
 type jobJSON struct {
@@ -85,9 +91,10 @@ func stageStatsString(s StageStats) string {
 // opts.Timing.
 func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 	out := struct {
-		Jobs  []jobJSON   `json:"jobs"`
-		Stats statsJSON   `json:"stats"`
-		Cache *CacheStats `json:"cache,omitempty"`
+		Jobs    []jobJSON    `json:"jobs"`
+		Stats   statsJSON    `json:"stats"`
+		Cache   *CacheStats  `json:"cache,omitempty"`
+		Metrics *obs.Metrics `json:"metrics,omitempty"`
 	}{
 		Jobs:  make([]jobJSON, 0, len(r.Jobs)),
 		Stats: statsJSON{Jobs: r.Stats.Jobs, Failed: r.Stats.Failed},
@@ -95,6 +102,9 @@ func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 	if opts.CacheStats {
 		cache := r.Cache
 		out.Cache = &cache
+	}
+	if opts.Metrics {
+		out.Metrics = r.Metrics()
 	}
 	for i := range r.Jobs {
 		jr := &r.Jobs[i]
@@ -205,6 +215,14 @@ func (r *Report) WriteText(w io.Writer, opts RenderOptions) error {
 		if _, err := fmt.Fprintf(w, "artifact cache (%d/%d entries): parsed %s, analyzed %s, saturated %s\n",
 			cs.Entries, cs.Capacity,
 			stageStatsString(cs.Parsed), stageStatsString(cs.Analyzed), stageStatsString(cs.Saturated)); err != nil {
+			return err
+		}
+	}
+	if opts.Metrics {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := r.Metrics().WriteTable(w); err != nil {
 			return err
 		}
 	}

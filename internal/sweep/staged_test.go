@@ -8,6 +8,8 @@ import (
 	"bytes"
 	"context"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // renderDeterministic renders the report's deterministic (no-timing) JSON
@@ -162,3 +164,23 @@ func runSweepBenchmark(b *testing.B, cfg Config) {
 func BenchmarkSweepSharedPrefix(b *testing.B) { runSweepBenchmark(b, Config{}) }
 
 func BenchmarkSweepNoCache(b *testing.B) { runSweepBenchmark(b, Config{NoCache: true}) }
+
+// BenchmarkSweepTraced is BenchmarkSweepSharedPrefix with a live trace
+// recorder in the context; the delta against the plain benchmark is the
+// enabled-tracing overhead, and CI records both into BENCH_obs.json (the
+// disabled path must stay within noise of the plain run, which predates
+// the obs layer).
+func BenchmarkSweepTraced(b *testing.B) {
+	jobs := benchmarkJobs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := obs.With(context.Background(), obs.NewRecorder(), 0)
+		rep, err := Run(ctx, jobs, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.Failed != 0 {
+			b.Fatal(rep.FirstErr())
+		}
+	}
+}

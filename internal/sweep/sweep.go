@@ -29,12 +29,14 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench89"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Job is one compilation unit of a sweep: a circuit reference plus the
@@ -111,6 +113,12 @@ type Config struct {
 	// CoverageMaxPatterns caps the per-fault pattern budget of those
 	// campaigns; 0 means the full pseudo-exhaustive budget.
 	CoverageMaxPatterns uint64
+	// Progress, when non-nil, is called after each job finishes with the
+	// number of completed jobs and the total. Calls come concurrently from
+	// worker goroutines (done is monotonic but calls may arrive out of
+	// order); the callback must be safe for concurrent use and must not
+	// write to the report stream.
+	Progress func(done, total int)
 	// Load resolves Job.Circuit to a netlist; nil means LoadCircuit.
 	Load func(name string) (*netlist.Circuit, error)
 	// Compile runs one job; nil means the staged cached pipeline (or
@@ -135,6 +143,9 @@ type JobResult struct {
 	// Elapsed and Phases are the job's wall-clock cost.
 	Elapsed time.Duration
 	Phases  core.Phases
+	// Kernels are the job's hot-kernel work counters (see
+	// core.KernelCounters); Report.Metrics aggregates them in job order.
+	Kernels core.KernelCounters
 	// Coverage is the job's fault-coverage campaign report, present only
 	// under Config.Coverage.
 	Coverage *fault.CampaignReport
@@ -244,6 +255,8 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	masters := make(map[string]*core.Parsed, len(jobs))
 	for i, j := range jobs {
 		v, _, err := cache.getOrCompute(stageParsed, "parsed:"+j.Circuit, func() (any, error) {
+			sp := obs.Start(ctx, "stage", "parse "+j.Circuit)
+			defer sp.End()
 			c, err := load(j.Circuit)
 			if err != nil {
 				return nil, err
@@ -259,15 +272,34 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	start := time.Now()
 	results := make([]JobResult, len(jobs))
 	idx := make(chan int)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker goroutine claims its own trace lane, so the
+			// Chrome trace shows the pool's true occupancy.
+			wctx := obs.LaneContext(ctx, fmt.Sprintf("sweep-worker-%d", w))
+			traced := obs.Enabled(wctx)
+			log := obs.L(wctx)
 			for i := range idx {
-				results[i] = runJob(ctx, jobs[i], masters[jobs[i].Circuit], cache, cfg)
+				var sp obs.Span
+				if traced {
+					sp = obs.Start(wctx, "sweep", "job "+jobs[i].String())
+				}
+				results[i] = runJob(wctx, jobs[i], masters[jobs[i].Circuit], cache, cfg)
+				sp.End()
+				if err := results[i].Err; err != nil {
+					log.Warn("sweep job failed", "job", jobs[i].String(), "err", err)
+				} else {
+					log.Debug("sweep job done", "job", jobs[i].String(), "elapsed", results[i].Elapsed)
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(int(done.Add(1)), len(jobs))
+				}
 			}
-		}()
+		}(w)
 	}
 	// Feed every index even after cancellation: runJob observes ctx.Err()
 	// first thing, so unstarted jobs drain instantly with a structured
@@ -281,6 +313,9 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	rep := &Report{Jobs: results}
 	rep.Stats = aggregate(results, workers, time.Since(start))
 	rep.Cache = cache.Stats()
+	obs.L(ctx).Info("sweep done", "jobs", rep.Stats.Jobs,
+		"failed", rep.Stats.Failed, "workers", rep.Stats.Workers,
+		"wall", rep.Stats.Wall)
 	return rep, nil
 }
 
@@ -330,6 +365,7 @@ func runJob(ctx context.Context, j Job, master *core.Parsed, cache *artifactCach
 	res.MaxInputs = r.Partition.MaxInputs()
 	res.Areas = r.Areas
 	res.Phases = r.Phases
+	res.Kernels = r.Counters
 	if cfg.Coverage {
 		// The campaign reads the shared normalized circuit and the job's
 		// own partition; single-worker because the sweep pool is already
