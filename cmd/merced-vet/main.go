@@ -1,0 +1,325 @@
+// Command merced-vet runs the repro determinism/cancellation analyzer
+// suite (internal/analysis) under go vet's modular -vettool protocol.
+//
+// Two modes:
+//
+//	merced-vet ./...            # standalone: re-execs go vet -vettool=<self>
+//	go vet -vettool=$(command -v merced-vet) ./...
+//
+// In the second form cmd/go drives this binary once per package with a
+// JSON *.cfg file describing the unit (files, import map, export data),
+// per the x/tools unitchecker protocol — reimplemented here on the
+// standard library alone so the tool builds offline.
+//
+// Individual analyzers can be disabled with -detmap=false etc.; -json
+// emits machine-readable diagnostics instead of plain text.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// unitConfig mirrors the JSON config cmd/go writes for each vet unit
+// (x/tools unitchecker.Config). Fields this driver does not consume are
+// kept so the decoder accepts every config cmd/go may produce.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+var (
+	flagV     = flag.String("V", "", "print version and exit (cmd/go protocol: -V=full)")
+	flagFlags = flag.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	flagJSON  = flag.Bool("json", false, "emit JSON output instead of plain diagnostics")
+	enabled   = map[string]*bool{}
+)
+
+func init() {
+	for _, a := range analysis.Suite() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+doc)
+	}
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+
+	if *flagV != "" {
+		printVersion()
+		return
+	}
+	if *flagFlags {
+		printFlags()
+		return
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion implements `merced-vet -V=full`: cmd/go fingerprints the
+// tool by this line (name, version, content hash) to key its vet cache.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	if *flagV != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h.Write(data)
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// printFlags implements `merced-vet -flags`: cmd/go asks which flags the
+// tool accepts so it can forward `go vet -detmap=false` style arguments.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fatalf("marshaling flags: %v", err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// standalone re-execs the toolchain's vet driver pointed back at this
+// binary, so `merced-vet ./...` behaves like `go vet -vettool=... ./...`.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fatalf("locating own executable: %v", err)
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if *flagJSON {
+		vetArgs = append(vetArgs, "-json")
+	}
+	var names []string
+	for name := range enabled {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !*enabled[name] {
+			vetArgs = append(vetArgs, "-"+name+"=false")
+		}
+	}
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fatalf("running go vet: %v", err)
+	}
+	return 0
+}
+
+// runUnit analyzes one package unit described by a cmd/go config file and
+// returns the process exit code (1 when plain-mode diagnostics exist).
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	cfg := &unitConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgPath, err)
+	}
+
+	// cmd/go may schedule fact-producing runs over dependencies
+	// (VetxOnly). This suite uses no cross-package facts: write the
+	// (empty) output cmd/go expects and succeed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	var run []*analysis.Analyzer
+	for _, a := range analysis.Suite() {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	findings, err := analysis.Run(fset, files, pkg, info, run)
+	if err != nil {
+		fatalf("analysis failed: %v", err)
+	}
+
+	if *flagJSON {
+		writeJSON(cfg.ID, findings)
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// typecheck builds the unit's types.Package using the compiler export
+// data cmd/go staged for every import (PackageFile), with vendor/test
+// variant paths resolved through ImportMap.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *unitConfig) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// writeJSON emits the analysisflags JSON shape cmd/go expects from a vet
+// tool in -json mode: {"<pkg id>": {"<analyzer>": [{posn, message}]}}.
+func writeJSON(id string, findings []analysis.Finding) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{f.Pos.String(), f.Message})
+	}
+	var names []string
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	unit := map[string][]jsonDiag{}
+	for _, name := range names {
+		unit[name] = byAnalyzer[name]
+	}
+	out := map[string]map[string][]jsonDiag{id: unit}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fatalf("marshaling diagnostics: %v", err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "merced-vet: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// binPath is the merced-vet binary built once for the whole test run.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "merced-vet-test")
+	if err != nil {
+		panic(err)
+	}
+	binPath = filepath.Join(dir, "merced-vet")
+	out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+	if err != nil {
+		panic("building merced-vet: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestVersionProtocol(t *testing.T) {
+	out, err := exec.Command(binPath, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	// cmd/go keys its vet cache on this exact shape.
+	re := regexp.MustCompile(`^merced-vet version devel [^\n]*buildID=[0-9a-f]{64}\n$`)
+	if !re.Match(out) {
+		t.Errorf("-V=full output %q does not match the cmd/go tool-ID shape", out)
+	}
+}
+
+func TestFlagsProtocol(t *testing.T) {
+	out, err := exec.Command(binPath, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not the JSON cmd/go expects: %v\n%s", err, out)
+	}
+	found := map[string]bool{}
+	for _, f := range flags {
+		found[f.Name] = true
+	}
+	for _, want := range []string{"detmap", "seedpurity", "ctxcheckpoint", "counterflow", "json"} {
+		if !found[want] {
+			t.Errorf("-flags output missing %q", want)
+		}
+	}
+}
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// vet runs `go vet -vettool=merced-vet ./...` in dir.
+func vet(t *testing.T, dir string, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{"vet", "-vettool=" + binPath}, extra...)
+	args = append(args, "./...")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestVetFlagsViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/det\n\ngo 1.22\n",
+		// Package path tail "flow" puts this file under the kernel contract.
+		"flow/flow.go": `package flow
+
+import "math/rand"
+
+func Draw(n int) int { return rand.Intn(n) }
+
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`,
+	})
+	out, err := vet(t, dir)
+	if err == nil {
+		t.Fatalf("go vet succeeded on a module with violations; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"global math/rand.Intn source",
+		"append to keys in range over map without a later sort barrier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestVetCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/clean\n\ngo 1.22\n",
+		"flow/flow.go": `package flow
+
+import "sort"
+
+func Collect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`,
+	})
+	out, err := vet(t, dir)
+	if err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+func TestVetAnalyzerDisable(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/toggle\n\ngo 1.22\n",
+		"pkg/pkg.go": `package pkg
+
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`,
+	})
+	out, err := vet(t, dir)
+	if err == nil {
+		t.Fatalf("expected detmap diagnostic; output:\n%s", out)
+	}
+	out, err = vet(t, dir, "-detmap=false")
+	if err != nil {
+		t.Fatalf("go vet with -detmap=false still failed: %v\n%s", err, out)
+	}
+}

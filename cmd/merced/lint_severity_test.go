@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/lint"
+)
+
+// TestLintSeverityExitCodeTable pins the full -lint-severity contract:
+// exit 0 below the threshold, 2 at or above it, 1 for operational
+// failures — across the netlist (NL) and partition (PT) rule classes the
+// CLI can provoke. BIST (BT) findings validate our own emitter and are
+// unreachable from well-formed inputs; their gating is covered separately
+// below.
+func TestLintSeverityExitCodeTable(t *testing.T) {
+	// NL005 (floating driver) is the warning-class fixture; NL003/NL006
+	// (undriven net, comb cycle) are the error-class one.
+	warnNL := writeBench(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+q = DFF(y)
+`)
+	errNL := writeBench(t, `
+INPUT(a)
+OUTPUT(y)
+y = AND(a, nothere)
+l1 = OR(l2, a)
+l2 = NOR(l1, a)
+`)
+
+	cases := []struct {
+		name     string
+		cfg      lintRun
+		wantCode int
+		wantIDs  []string
+	}{
+		// Clean pipeline: every layer runs, nothing fires, threshold moot.
+		{"clean/threshold=info", lintRun{circuit: "s27", lk: 3, beta: 50, seed: 1, threshold: "info"}, exitClean, nil},
+		{"clean/threshold=error", lintRun{circuit: "s27", lk: 3, beta: 50, seed: 1, threshold: "error"}, exitClean, nil},
+
+		// NL warning class: gated out at error, gating in at warning/info.
+		{"nl-warning/threshold=error", lintRun{file: warnNL, lk: 4, beta: 50, seed: 1, threshold: "error"}, exitClean, []string{"NL005"}},
+		{"nl-warning/threshold=warning", lintRun{file: warnNL, lk: 4, beta: 50, seed: 1, threshold: "warning"}, exitFindings, []string{"NL005"}},
+		{"nl-warning/threshold=info", lintRun{file: warnNL, lk: 4, beta: 50, seed: 1, threshold: "info"}, exitFindings, []string{"NL005"}},
+
+		// NL error class: fires at every threshold.
+		{"nl-error/threshold=error", lintRun{file: errNL, lk: 4, beta: 50, seed: 1, threshold: "error"}, exitFindings, []string{"NL003", "NL006"}},
+		{"nl-error/threshold=warning", lintRun{file: errNL, lk: 4, beta: 50, seed: 1, threshold: "warning"}, exitFindings, []string{"NL003", "NL006"}},
+
+		// PT error class: a cluster too wide for any Table 1 CBIT type.
+		{"pt-error/threshold=error", lintRun{circuit: "s1423", lk: 12, beta: 1, seed: 1, threshold: "error"}, exitFindings, []string{"PT004"}},
+		{"pt-error/threshold=warning", lintRun{circuit: "s1423", lk: 12, beta: 1, seed: 1, threshold: "warning"}, exitFindings, []string{"PT004"}},
+
+		// Operational failures beat findings: exit 1, nothing linted.
+		{"operational/bad-threshold", lintRun{file: errNL, lk: 4, beta: 50, seed: 1, threshold: "bogus"}, exitOperational, nil},
+		{"operational/missing-file", lintRun{file: "/does/not/exist.bench", lk: 4, beta: 50, seed: 1, threshold: "error"}, exitOperational, nil},
+		{"operational/no-input", lintRun{lk: 4, beta: 50, seed: 1, threshold: "error"}, exitOperational, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errw := lintFile(t, tc.cfg)
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, tc.wantCode, out, errw)
+			}
+			for _, id := range tc.wantIDs {
+				if !strings.Contains(out, id) {
+					t.Errorf("output missing %s:\n%s", id, out)
+				}
+			}
+		})
+	}
+}
+
+// TestLintJSONMultiRule checks the -json rendering when several rules of
+// mixed severities fire in one run: all rules present, errors counted
+// separately from warnings, and the diagnostics sorted errors-first.
+func TestLintJSONMultiRule(t *testing.T) {
+	// NL003 (error), NL006 (error, two nets), NL005 (warning) together.
+	path := writeBench(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, nothere)
+l1 = OR(l2, a)
+l2 = NOR(l1, a)
+dead = XOR(a, b)
+`)
+	code, out, _ := lintFile(t, lintRun{file: path, lk: 4, beta: 50, seed: 1, threshold: "error", jsonOut: true})
+	if code != exitFindings {
+		t.Fatalf("exit %d, want %d", code, exitFindings)
+	}
+	var got struct {
+		File        string `json:"file"`
+		Diagnostics []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	rules := map[string]int{}
+	for _, d := range got.Diagnostics {
+		rules[d.Rule]++
+	}
+	for _, id := range []string{"NL003", "NL005", "NL006"} {
+		if rules[id] == 0 {
+			t.Errorf("JSON missing rule %s: %s", id, out)
+		}
+	}
+	if got.Errors == 0 || got.Warnings == 0 {
+		t.Errorf("errors=%d warnings=%d, want both nonzero:\n%s", got.Errors, got.Warnings, out)
+	}
+	// Errors-first sort: once a warning appears, no error may follow.
+	seenWarning := false
+	for _, d := range got.Diagnostics {
+		if d.Severity == "warning" {
+			seenWarning = true
+		}
+		if d.Severity == "error" && seenWarning {
+			t.Errorf("error after warning: diagnostics not sorted errors-first\n%s", out)
+			break
+		}
+	}
+}
+
+// TestLintBTSeverityGating covers the BIST rule class. BT diagnostics
+// cannot be provoked through the CLI — they audit the freshly emitted
+// test hardware, so a finding means the emitter itself is broken — but
+// their severity must still gate exits correctly. This drives the same
+// HasAtLeast predicate runLint uses over a deliberately corrupted BIST
+// artifact.
+func TestLintBTSeverityGating(t *testing.T) {
+	c, err := bench89.S27()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(3, 1)
+	res, err := core.Compile(context.Background(), c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, info, err := emit.Testable(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &lint.Context{
+		File: c.Name, Circuit: res.Circuit,
+		Graph: res.Graph, SCC: res.SCC,
+		Partition: res.Partition, Retiming: res.Retiming, CombGraph: res.CombGraph,
+		LK: opt.LK, Beta: opt.Beta,
+		BIST: &lint.BISTArtifact{
+			Circuit: tc, ScanOrder: info.ScanOrder,
+			TB1: "not_the_real_tb1", TB2: emit.CtrlTB2, TMode: emit.CtrlTMode,
+			ScanIn: emit.CtrlScanIn, ScanOut: emit.ScanOut,
+		},
+	}
+	diags := lint.RunLayer(ctx, lint.LayerBIST)
+	if len(diags) == 0 {
+		t.Fatal("corrupted BIST artifact produced no BT diagnostics")
+	}
+	hasBT := false
+	for _, d := range diags {
+		if strings.HasPrefix(d.RuleID, "BT") {
+			hasBT = true
+		}
+	}
+	if !hasBT {
+		t.Fatalf("no BT-class rule fired: %v", diags)
+	}
+	// BT rules are error-severity: they gate exit 2 at every threshold,
+	// exactly as runLint decides it.
+	for _, threshold := range []lint.Severity{lint.Info, lint.Warning, lint.Error} {
+		if !lint.HasAtLeast(diags, threshold) {
+			t.Errorf("BT findings do not gate at threshold %v", threshold)
+		}
+	}
+}

@@ -1,3 +1,10 @@
 module repro
 
-go 1.22
+go 1.24
+
+// merced-vet is this module's own vet suite (internal/analysis); the tool
+// directive makes `go tool merced-vet` work without any install step.
+// External analysis tools (staticcheck, govulncheck) are NOT pinned here:
+// the repo builds in offline environments with an empty module cache, so
+// their versions are pinned in tools/versions.env and installed only by CI.
+tool repro/cmd/merced-vet

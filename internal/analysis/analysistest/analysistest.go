@@ -1,0 +1,177 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against `// want` expectations, mirroring the x/tools
+// package of the same name on the standard library only.
+//
+// Fixtures live under testdata/src/<pkg>/ and are plain Go files excluded
+// from the build (testdata is invisible to go build). A line that should
+// be flagged carries a trailing comment:
+//
+//	for k := range m { // want `depends on map iteration order`
+//
+// The backquoted (or double-quoted) text is a regexp matched against every
+// diagnostic reported on that line; several expectations may sit on one
+// line. Diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts expectation regexps: // want `rx` "rx2" ...
+var wantRe = regexp.MustCompile("// want ((?:[`\"][^`\"]*[`\"]\\s*)+)")
+
+var wantArgRe = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+// Run analyzes testdata/src/<pkg> under dir with a and reports mismatches
+// on t. It returns the findings for additional assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) []analysis.Finding {
+	t.Helper()
+	src := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	type want struct {
+		rx      *regexp.Regexp
+		matched bool
+		file    string
+		line    int
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(src, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				rx, err := regexp.Compile(arg[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, arg[1], err)
+				}
+				wants = append(wants, &want{rx: rx, file: path, line: i + 1})
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", src)
+	}
+
+	findings := typecheckAndRun(t, fset, files, pkg, a)
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", f.Pos, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+	return findings
+}
+
+// RunNoWants analyzes testdata/src/<pkg> under dir with a, ignoring any
+// `// want` comments in the fixture, and returns the raw findings. Use it
+// to run an analyzer over another analyzer's fixture (e.g. to assert a
+// package gate keeps it silent there).
+func RunNoWants(t *testing.T, dir string, a *analysis.Analyzer, pkg string) []analysis.Finding {
+	t.Helper()
+	src := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(src, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", src)
+	}
+	return typecheckAndRun(t, fset, files, pkg, a)
+}
+
+func typecheckAndRun(t *testing.T, fset *token.FileSet, files []*ast.File, pkgpath string, a *analysis.Analyzer) []analysis.Finding {
+	t.Helper()
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		// The source importer compiles stdlib imports (context, sort, ...)
+		// from GOROOT source: fixture checking works without export data
+		// or network access.
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Errorf("fixture type error: %v", err) },
+	}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture package %s: %v", pkgpath, err)
+	}
+	findings, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return findings
+}
+
+// Format renders findings one per line (for debugging fixture tests).
+func Format(findings []analysis.Finding) string {
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&sb, f)
+	}
+	return sb.String()
+}

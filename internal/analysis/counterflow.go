@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CounterFlow guards the obs counter pipeline. Result structs that carry
+// deterministic kernel counters are marked with an `//obs:counters` line
+// in their doc comment; the marker may name the counter fields
+// explicitly (`//obs:counters DFSVisits Resplits`), and defaults to every
+// exported integer field. Two failure modes of the dropped-counters bug
+// class (partition's finalize() rebuilt Result and silently zeroed
+// DFSVisits / Resplits / RefineMoves until PR 5) are reported:
+//
+//  1. a counter that is never written anywhere in its defining package —
+//     a metric that can only ever read zero; and
+//  2. a function that copies counters field-by-field from one value of
+//     the marked type into another (assignments or composite-literal
+//     keys) but misses some fields — the exact finalize() shape.
+//     Whole-struct assignments (dst = src, *dst = *src) move every field
+//     and always satisfy the check.
+//
+// The check is per-package by design: it runs under go vet's modular
+// protocol, where cross-package aggregation reads are not visible. The
+// defining package is where both historical bugs lived.
+var CounterFlow = &Analyzer{
+	Name: "counterflow",
+	Doc: "every counter field on an //obs:counters struct must be written in its " +
+		"defining package, and field-by-field counter copies must not drop fields",
+	Run: runCounterFlow,
+}
+
+// CounterMarker is the doc-comment directive that opts a struct in.
+const CounterMarker = "obs:counters"
+
+// transferKey groups field copies by (function, source value): all
+// counters leaving one source inside one function must travel together.
+type transferKey struct {
+	fn  *ast.FuncDecl
+	src string
+}
+
+type transferSet struct {
+	fields map[*types.Var]bool
+	typ    *types.Named
+	pos    ast.Node
+	whole  bool
+}
+
+func runCounterFlow(pass *Pass) error {
+	marked := collectMarkedStructs(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+
+	written := map[*types.Var]bool{}
+	transfers := map[transferKey]*transferSet{}
+	record := func(fn *ast.FuncDecl, src string, typ *types.Named, at ast.Node, fld *types.Var, whole bool) {
+		key := transferKey{fn, src}
+		tr := transfers[key]
+		if tr == nil {
+			tr = &transferSet{fields: map[*types.Var]bool{}, typ: typ, pos: at}
+			transfers[key] = tr
+		}
+		if whole {
+			tr.whole = true
+		}
+		if fld != nil {
+			tr.fields[fld] = true
+		}
+	}
+
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		var curFn *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				curFn = n
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					if fld := counterField(pass, marked, lhs); fld != nil {
+						written[fld] = true
+						if src, typ, ok := counterSource(pass, marked, rhs, fld); ok {
+							record(curFn, src, typ, n, fld, false)
+						}
+					}
+					// dst = src / *dst = *src over the whole marked struct
+					// moves every counter at once. Construction
+					// (composite literals, new, constructor calls) is not
+					// a copy: only genuine value-to-value moves count.
+					if named := markedStructExpr(pass, marked, lhs); named != nil && markedStructExpr(pass, marked, rhs) == named && isValueCopy(rhs) {
+						record(curFn, types.ExprString(rhs), named, n, nil, true)
+						for _, fld := range marked[named] {
+							written[fld] = true
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if fld := counterField(pass, marked, n.X); fld != nil {
+					written[fld] = true
+				}
+			case *ast.UnaryExpr:
+				// &x.Counter escapes; treat as written (pointer-threaded
+				// accumulation).
+				if n.Op == token.AND {
+					if fld := counterField(pass, marked, n.X); fld != nil {
+						written[fld] = true
+					}
+				}
+			case *ast.CompositeLit:
+				named := markedLitType(pass, marked, n)
+				if named == nil {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						// Unkeyed literal: every field is spelled out.
+						for _, fld := range marked[named] {
+							written[fld] = true
+						}
+						break
+					}
+					id, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					fld := fieldByName(marked[named], id.Name)
+					if fld == nil {
+						continue
+					}
+					written[fld] = true
+					if src, typ, ok := counterSource(pass, marked, kv.Value, fld); ok {
+						record(curFn, src, typ, kv, fld, false)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// 2. Partial field-by-field copies.
+	var keys []transferKey
+	for key := range transfers {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := transfers[keys[i]], transfers[keys[j]]
+		return a.pos.Pos() < b.pos.Pos()
+	})
+	for _, key := range keys {
+		tr := transfers[key]
+		if tr.whole || tr.typ == nil {
+			continue
+		}
+		var missing, copied []string
+		for _, fld := range marked[tr.typ] {
+			if tr.fields[fld] {
+				copied = append(copied, fld.Name())
+			} else {
+				missing = append(missing, fld.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			sort.Strings(copied)
+			pass.Reportf(tr.pos.Pos(), "copies counters %s from %s but drops %s (dropped-counter bug class)",
+				strings.Join(copied, ", "), key.src, strings.Join(missing, ", "))
+		}
+	}
+
+	// 1. Counters never written at all. Iterate in declaration order for
+	// deterministic reporting.
+	var names []*types.Named
+	for named := range marked {
+		names = append(names, named)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Obj().Pos() < names[j].Obj().Pos() })
+	for _, named := range names {
+		for _, fld := range marked[named] {
+			if !written[fld] {
+				pass.Reportf(fld.Pos(), "counter %s.%s is never written in package %s: it will always report zero",
+					named.Obj().Name(), fld.Name(), pass.Pkg.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// collectMarkedStructs finds //obs:counters structs and their counter
+// fields, keyed by named type. An explicit field list on the marker wins;
+// otherwise every exported integer field is a counter.
+func collectMarkedStructs(pass *Pass) map[*types.Named][]*types.Var {
+	marked := map[*types.Named][]*types.Var{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				listed, found := markerFields(ts.Doc)
+				if !found {
+					listed, found = markerFields(gd.Doc)
+				}
+				if !found {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//%s marker on non-struct type %s", CounterMarker, ts.Name.Name)
+					continue
+				}
+				var fields []*types.Var
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if len(listed) > 0 {
+						if listed[f.Name()] {
+							fields = append(fields, f)
+						}
+					} else if f.Exported() && isInteger(f.Type()) {
+						fields = append(fields, f)
+					}
+				}
+				if len(fields) == 0 {
+					pass.Reportf(ts.Pos(), "//%s marker on %s, which has no exported integer counter fields", CounterMarker, ts.Name.Name)
+					continue
+				}
+				marked[named] = fields
+			}
+		}
+	}
+	return marked
+}
+
+// markerFields parses the //obs:counters directive from a doc comment,
+// returning the explicitly listed field names (may be empty) and whether
+// the marker is present.
+func markerFields(doc *ast.CommentGroup) (map[string]bool, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+CounterMarker)
+		if !ok {
+			continue
+		}
+		names := map[string]bool{}
+		for _, f := range strings.Fields(rest) {
+			names[f] = true
+		}
+		return names, true
+	}
+	return nil, false
+}
+
+// counterSource looks for a read of the same counter field anywhere in an
+// assigned expression (plain `r.F`, but also `r.F + delta` and the like)
+// and returns the source base it reads from. Reading the matching field —
+// however it is combined — propagates the counter; reading nothing from a
+// marked struct is fresh computation, not a copy.
+func counterSource(pass *Pass, marked map[*types.Named][]*types.Var, expr ast.Expr, fld *types.Var) (string, *types.Named, bool) {
+	var src string
+	var typ *types.Named
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if typ != nil {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if counterField(pass, marked, e) == fld {
+			src = baseString(e)
+			typ = markedNamed(pass, marked, e)
+			return false
+		}
+		return true
+	})
+	return src, typ, typ != nil
+}
+
+// counterField resolves expr to a counter field selection (x.Counter on a
+// marked struct), or nil.
+func counterField(pass *Pass, marked map[*types.Named][]*types.Var, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	named := markedStructExpr(pass, marked, sel.X)
+	if named == nil {
+		return nil
+	}
+	return fieldByName(marked[named], sel.Sel.Name)
+}
+
+// markedNamed returns the marked type of a field selection expression.
+func markedNamed(pass *Pass, marked map[*types.Named][]*types.Var, expr ast.Expr) *types.Named {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return markedStructExpr(pass, marked, sel.X)
+}
+
+// markedStructExpr returns the marked named type of expr (through
+// pointers), or nil.
+func markedStructExpr(pass *Pass, marked map[*types.Named][]*types.Var, expr ast.Expr) *types.Named {
+	t := pass.TypesInfo.TypeOf(ast.Unparen(expr))
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || marked[named] == nil {
+		return nil
+	}
+	return named
+}
+
+// markedLitType returns the marked type a composite literal builds, or nil.
+func markedLitType(pass *Pass, marked map[*types.Named][]*types.Var, lit *ast.CompositeLit) *types.Named {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok || marked[named] == nil {
+		return nil
+	}
+	return named
+}
+
+func fieldByName(fields []*types.Var, name string) *types.Var {
+	for _, f := range fields {
+		if f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// isValueCopy reports whether expr is a plain value read — an identifier,
+// field selection, or dereference of one — as opposed to construction.
+func isValueCopy(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.StarExpr:
+		return isValueCopy(e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isValueCopy(e.X)
+	case *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// baseString renders the receiver of a field selection for grouping and
+// diagnostics.
+func baseString(expr ast.Expr) string {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return types.ExprString(expr)
+}

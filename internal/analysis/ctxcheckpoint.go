@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheckpoint protects the PR 2 cancellation contract: core.Compile,
+// sweep.Run, and fault.Campaign promise that a cancelled context aborts
+// promptly, which holds only if every heavy loop on the entry path either
+// checks ctx.Err()/ctx.Done() or delegates the context to a callee that
+// does. The analyzer inspects every function in core, sweep, and fault
+// that receives a context.Context and flags loops whose body exceeds a
+// size heuristic without any reachable checkpoint.
+//
+// A checkpoint is: a call to Err/Done/Deadline/Value on any
+// context.Context value (derived contexts count), a select with a
+// ctx.Done() case, or passing a context to another function. Only the
+// outermost unchecked loop is reported. Suppress a vetted loop with
+// `//ctxlint:nocancel <reason>`.
+var CtxCheckpoint = &Analyzer{
+	Name: "ctxcheckpoint",
+	Doc: "require ctx.Err()/ctx.Done() checkpoints (or ctx delegation) in heavy " +
+		"loops of context-carrying functions in core, sweep, and fault",
+	Run: runCtxCheckpoint,
+}
+
+// ctxLoopThreshold is the body-size heuristic, in AST nodes. Loops below
+// it are considered cheap enough to finish an iteration without noticing
+// cancellation; the calibration point is that a bare accumulation loop
+// (~10 nodes) passes while a loop doing real per-element work does not.
+const ctxLoopThreshold = 40
+
+func runCtxCheckpoint(pass *Pass) error {
+	if !entryPackages[pathTail(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasContextParam(pass, fn) {
+				continue
+			}
+			checkLoops(pass, file, fn.Name.Name, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkLoops walks the function body and reports oversized loops without a
+// checkpoint. When a loop fails, its nested loops are skipped: the fix —
+// one checkpoint in the outer body — covers them all.
+func checkLoops(pass *Pass, file *ast.File, fname string, body *ast.BlockStmt) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		default:
+			return true
+		}
+		weight := nodeCount(loopBody)
+		if weight < ctxLoopThreshold || containsCheckpoint(pass, loopBody) {
+			return true // fine as-is; still inspect nested loops independently
+		}
+		if !pass.suppressed(file, n, DirNoCancel) {
+			pass.Reportf(n.Pos(), "heavy loop (~%d nodes) in %s runs without a ctx.Err()/ctx.Done() checkpoint or ctx delegation", weight, fname)
+		}
+		return false // the outer fix covers nested loops
+	}
+	ast.Inspect(body, walk)
+}
+
+// hasContextParam reports whether fn takes a context.Context parameter.
+func hasContextParam(pass *Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// containsCheckpoint reports whether the loop body reaches cancellation:
+// calls a context method, selects on Done, or hands a context onward.
+func containsCheckpoint(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isContextType(pass.TypesInfo.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		for _, arg := range call.Args {
+			if isContextType(pass.TypesInfo.TypeOf(arg)) {
+				found = true // delegation: the callee owns the checkpoint
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// nodeCount sizes an AST subtree.
+func nodeCount(n ast.Node) int {
+	count := 0
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n != nil {
+			count++
+		}
+		return true
+	})
+	return count
+}

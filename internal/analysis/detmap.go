@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detmap flags range-over-map loops whose body leaks iteration order into
+// results: appends without a later sort barrier, argmin/last-writer
+// assignments to outer state, non-commutative accumulation, output writes,
+// and order-dependent returns. This is exactly the bug class behind the
+// historical AssignCBIT nondeterminism (candidate maps scanned in map
+// order made tie-breaks — and with them whole compilations — random).
+//
+// Suppress a vetted site with `//detlint:ordered <reason>` on or above the
+// loop.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc: "flag range-over-map loops that leak iteration order into results " +
+		"(append without sort barrier, order-dependent assignment/accumulation/output/return)",
+	Run: runDetmap,
+}
+
+func runDetmap(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		forEachMapRange(pass, file, func(rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+			if pass.suppressed(file, rng, DirOrdered) {
+				return
+			}
+			for _, f := range pass.classifyMapRange(rng, fnBody) {
+				if f.gray {
+					continue // kernel-only strictness; seedpurity reports it
+				}
+				pass.Reportf(f.pos, "%s", f.msg)
+			}
+		})
+	}
+	return nil
+}
+
+// forEachMapRange visits every range statement over a map-typed expression
+// in file, passing along the innermost enclosing function body.
+func forEachMapRange(pass *Pass, file *ast.File, fn func(*ast.RangeStmt, *ast.BlockStmt)) {
+	var bodies []*ast.BlockStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			bodies = append(bodies, n.Body)
+			ast.Inspect(n.Body, walk)
+			bodies = bodies[:len(bodies)-1]
+			return false
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+			ast.Inspect(n.Body, walk)
+			bodies = bodies[:len(bodies)-1]
+			return false
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					var body *ast.BlockStmt
+					if len(bodies) > 0 {
+						body = bodies[len(bodies)-1]
+					}
+					fn(n, body)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}

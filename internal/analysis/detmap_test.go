@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetmap(t *testing.T) {
+	findings := analysistest.Run(t, "testdata", analysis.Detmap, "detmap")
+
+	// The AssignCBIT regression must be caught: the analyzer exists
+	// because this bug shipped once (PR 2). Guard the fixture explicitly
+	// so a future classifier relaxation cannot silently un-flag it.
+	caught := false
+	for _, f := range findings {
+		if f.Pos.Filename != "" && f.Pos.Line > 0 &&
+			f.Analyzer == "detmap" &&
+			f.Pos.Filename == "testdata/src/detmap/assigncbit.go" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Errorf("detmap did not flag the AssignCBIT regression fixture (assigncbit.go); findings:\n%s",
+			analysistest.Format(findings))
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives, written as line comments immediately above (or
+// trailing on the same line as) the statement they vet:
+//
+//	//detlint:ordered <reason>      accepted map iteration (detmap, seedpurity)
+//	//ctxlint:nocancel <reason>     accepted checkpoint-free loop (ctxcheckpoint)
+//	//seedlint:wallclock <reason>   accepted wall-clock read in a kernel (seedpurity)
+//
+// The reason is mandatory: a suppression without one is itself reported.
+// The grammar deliberately matches //go:build style — no space after //,
+// tool:verb, free-text reason — so gofmt leaves it alone.
+const (
+	DirOrdered   = "detlint:ordered"
+	DirNoCancel  = "ctxlint:nocancel"
+	DirWallClock = "seedlint:wallclock"
+)
+
+// A directive is one parsed suppression comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+}
+
+// fileDirectives maps a source line to the directive written on it.
+type fileDirectives map[int]directive
+
+// directivesFor lazily parses and caches the suppression comments of f.
+func (p *Pass) directivesFor(f *ast.File) fileDirectives {
+	if d, ok := p.directives[f]; ok {
+		return d
+	}
+	d := fileDirectives{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // block comments do not carry directives
+			}
+			name, rest, found := strings.Cut(text, " ")
+			if !found {
+				name, rest = text, ""
+			}
+			if name != DirOrdered && name != DirNoCancel && name != DirWallClock {
+				continue
+			}
+			// Fixture files append `// want ...` expectations to the same
+			// comment; they are not part of the reason.
+			if i := strings.Index(rest, "// want"); i >= 0 {
+				rest = rest[:i]
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			d[line] = directive{name: name, reason: strings.TrimSpace(rest), pos: c.Pos()}
+		}
+	}
+	if p.directives == nil {
+		p.directives = map[*ast.File]fileDirectives{}
+	}
+	p.directives[f] = d
+	return d
+}
+
+// dirOwner names the analyzer that reports a reason-less directive, so a
+// directive consulted by several analyzers is complained about only once.
+var dirOwner = map[string]string{
+	DirOrdered:   "detmap",
+	DirNoCancel:  "ctxcheckpoint",
+	DirWallClock: "seedpurity",
+}
+
+// suppressed reports whether node carries the named directive, looking at
+// the node's first line and the line above it. A directive with an empty
+// reason still suppresses the underlying finding, but is itself reported
+// (by the owning analyzer), so an unjustified allowlisting never silently
+// passes.
+func (p *Pass) suppressed(f *ast.File, node ast.Node, name string) bool {
+	dirs := p.directivesFor(f)
+	line := p.Fset.Position(node.Pos()).Line
+	for _, l := range [2]int{line, line - 1} {
+		d, ok := dirs[l]
+		if !ok || d.name != name {
+			continue
+		}
+		if d.reason == "" && dirOwner[name] == p.Analyzer.Name {
+			p.Reportf(d.pos, "//%s directive needs a reason explaining why the order is acceptable", name)
+		}
+		return true
+	}
+	return false
+}

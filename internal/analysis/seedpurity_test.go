@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSeedPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SeedPurity, "flow")
+}
+
+// TestSeedPuritySkipsNonKernel checks the package gate: the same shapes in
+// a package outside the kernel list produce no diagnostics.
+func TestSeedPuritySkipsNonKernel(t *testing.T) {
+	findings := analysistest.RunNoWants(t, "testdata", analysis.SeedPurity, "detmap")
+	if len(findings) != 0 {
+		t.Errorf("seedpurity reported in non-kernel package detmap:\n%s", analysistest.Format(findings))
+	}
+}

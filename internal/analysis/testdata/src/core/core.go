@@ -1,0 +1,162 @@
+// Package core poses as the context-carrying entry-path package for the
+// ctxcheckpoint analyzer.
+package core
+
+import "context"
+
+type node struct {
+	weight   int
+	children []int
+	visited  bool
+	label    string
+}
+
+// CompileHeavy's loop does real per-node work with no way to notice a
+// cancelled context until the whole traversal finishes.
+func CompileHeavy(ctx context.Context, nodes []node) (int, error) {
+	total := 0
+	for i := range nodes { // want `heavy loop .* in CompileHeavy runs without a ctx.Err\(\)/ctx.Done\(\) checkpoint`
+		n := &nodes[i]
+		if n.visited {
+			continue
+		}
+		n.visited = true
+		acc := n.weight * 3
+		for _, c := range n.children {
+			acc += nodes[c].weight
+			if nodes[c].visited {
+				acc -= 1
+			}
+		}
+		if acc > 100 {
+			n.label = "hot"
+		} else {
+			n.label = "cold"
+		}
+		total += acc
+	}
+	return total, ctx.Err()
+}
+
+// CompileChecked is the contract-conforming shape: a checkpoint per
+// iteration.
+func CompileChecked(ctx context.Context, nodes []node) (int, error) {
+	total := 0
+	for i := range nodes {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n := &nodes[i]
+		if n.visited {
+			continue
+		}
+		n.visited = true
+		acc := n.weight * 3
+		for _, c := range n.children {
+			acc += nodes[c].weight
+			if nodes[c].visited {
+				acc -= 1
+			}
+		}
+		if acc > 100 {
+			n.label = "hot"
+		} else {
+			n.label = "cold"
+		}
+		total += acc
+	}
+	return total, nil
+}
+
+// CompileDelegating hands the context to a callee each iteration; the
+// callee owns the checkpoint.
+func CompileDelegating(ctx context.Context, nodes []node) (int, error) {
+	total := 0
+	for i := range nodes {
+		w, err := visitOne(ctx, &nodes[i], nodes)
+		if err != nil {
+			return 0, err
+		}
+		if w > 100 {
+			nodes[i].label = "hot"
+		} else {
+			nodes[i].label = "cold"
+		}
+		acc := w * 3
+		if nodes[i].visited {
+			acc -= 1
+		}
+		total += acc
+	}
+	return total, nil
+}
+
+func visitOne(ctx context.Context, n *node, nodes []node) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	acc := n.weight
+	for _, c := range n.children {
+		acc += nodes[c].weight
+	}
+	return acc, nil
+}
+
+// CompileLight's loop is below the size heuristic: an iteration finishes
+// immediately, so cancellation is noticed promptly anyway.
+func CompileLight(ctx context.Context, weights []int) (int, error) {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return total, ctx.Err()
+}
+
+// CompileVetted is allowlisted with a reason.
+func CompileVetted(ctx context.Context, nodes []node) (int, error) {
+	total := 0
+	//ctxlint:nocancel bounded at 64 nodes by the caller; finishes in microseconds
+	for i := range nodes {
+		n := &nodes[i]
+		if n.visited {
+			continue
+		}
+		n.visited = true
+		acc := n.weight * 3
+		for _, c := range n.children {
+			acc += nodes[c].weight
+			if nodes[c].visited {
+				acc -= 1
+			}
+		}
+		if acc > 100 {
+			n.label = "hot"
+		} else {
+			n.label = "cold"
+		}
+		total += acc
+	}
+	return total, ctx.Err()
+}
+
+// helperNoCtx takes no context: the contract does not apply to it.
+func helperNoCtx(nodes []node) int {
+	total := 0
+	for i := range nodes {
+		n := &nodes[i]
+		acc := n.weight * 3
+		for _, c := range n.children {
+			acc += nodes[c].weight
+			if nodes[c].visited {
+				acc -= 1
+			}
+		}
+		if acc > 100 {
+			n.label = "hot"
+		} else {
+			n.label = "cold"
+		}
+		total += acc
+	}
+	return total
+}

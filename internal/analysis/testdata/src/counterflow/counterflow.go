@@ -1,0 +1,83 @@
+// Package counterflow exercises the counterflow analyzer: marked result
+// structs whose counters must be written and never dropped by
+// field-by-field copies.
+package counterflow
+
+// Result carries kernel counters into the obs aggregation.
+//
+//obs:counters
+type Result struct {
+	Clusters int
+	// DFSVisits and RefineMoves mirror the real partition counters.
+	DFSVisits   int
+	RefineMoves int
+	Resplits    int
+	// Name is not an integer: not a counter.
+	Name string
+}
+
+type accumulator struct {
+	visits int
+	moves  int
+	splits int
+}
+
+// build writes every counter: the happy path.
+func build(acc *accumulator, clusters int) *Result {
+	r := &Result{
+		Clusters:    clusters,
+		DFSVisits:   acc.visits,
+		RefineMoves: acc.moves,
+	}
+	r.Resplits = acc.splits
+	return r
+}
+
+// finalize reproduces the historical PR 5 bug shape: the result is rebuilt
+// and counters are copied field-by-field — but Resplits is dropped.
+func finalize(r *Result) *Result {
+	nr := &Result{Clusters: r.Clusters} // want `copies counters Clusters, DFSVisits, RefineMoves from r but drops Resplits`
+	nr.DFSVisits = r.DFSVisits
+	nr.RefineMoves = r.RefineMoves
+	return nr
+}
+
+// accumulate is clean: reading the source counter inside an arithmetic
+// expression (RefineMoves + moves) still propagates it.
+func accumulate(r *Result, moves int) *Result {
+	nr := &Result{Clusters: r.Clusters}
+	nr.DFSVisits = r.DFSVisits
+	nr.RefineMoves = r.RefineMoves + moves
+	nr.Resplits = r.Resplits
+	return nr
+}
+
+// replaceWhole copies the full struct: every counter moves at once.
+func replaceWhole(dst, src *Result) {
+	*dst = *src
+}
+
+// Orphan has a counter no code ever writes.
+//
+//obs:counters
+type Orphan struct {
+	Hits   int
+	Misses int // want `counter Orphan.Misses is never written in package counterflow: it will always report zero`
+}
+
+func touchOrphan(o *Orphan) {
+	o.Hits++
+}
+
+// NotAStruct cannot carry counters.
+//
+//obs:counters
+type NotAStruct int // want `//obs:counters marker on non-struct type NotAStruct`
+
+// NoCounters has nothing to track.
+//
+//obs:counters
+type NoCounters struct { // want `marker on NoCounters, which has no exported integer counter fields`
+	Name string
+	note int
+}

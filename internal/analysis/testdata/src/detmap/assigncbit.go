@@ -1,0 +1,49 @@
+package detmap
+
+import "sort"
+
+// This file is the regression fixture distilled from the real AssignCBIT
+// nondeterminism fixed in PR 2 (internal/partition/assign.go): the greedy
+// merge scanned its candidate set — a map — directly, so tie-breaks
+// between candidates with equal (iota, removed) scores followed the
+// runtime's randomized map order, and with them the entire compilation's
+// cluster assignment, CBIT area table, and fault-coverage report.
+
+type scored struct{ iota, removed int }
+
+// buggyCandidateScan reproduces the pre-PR2 shape. detmap must flag it:
+// had this analyzer existed, the bug would never have shipped.
+func buggyCandidateScan(cands map[int]bool, score func(int) scored, lk int) int {
+	bestIdx, bestIota, bestRemoved := -1, 0, -1
+	for gi := range cands {
+		s := score(gi)
+		if s.iota > lk {
+			continue
+		}
+		if bestIdx < 0 || s.iota < bestIota || (s.iota == bestIota && s.removed > bestRemoved) {
+			bestIdx, bestIota, bestRemoved = gi, s.iota, s.removed // want `assignment to bestIdx depends on map iteration order` `assignment to bestIota depends on map iteration order` `assignment to bestRemoved depends on map iteration order`
+		}
+	}
+	return bestIdx
+}
+
+// fixedCandidateScan is the shipped PR 2 fix: extract keys, sort, scan in
+// index order. The map range only feeds the sorted key collection.
+func fixedCandidateScan(cands map[int]bool, score func(int) scored, lk int) int {
+	candIdx := make([]int, 0, len(cands))
+	for gi := range cands {
+		candIdx = append(candIdx, gi)
+	}
+	sort.Ints(candIdx)
+	bestIdx, bestIota, bestRemoved := -1, 0, -1
+	for _, gi := range candIdx {
+		s := score(gi)
+		if s.iota > lk {
+			continue
+		}
+		if bestIdx < 0 || s.iota < bestIota || (s.iota == bestIota && s.removed > bestRemoved) {
+			bestIdx, bestIota, bestRemoved = gi, s.iota, s.removed
+		}
+	}
+	return bestIdx
+}

@@ -1,0 +1,75 @@
+// Package flow poses as the deterministic-kernel flow package for the
+// seedpurity analyzer (classification is by import path tail).
+package flow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Saturate stands in for the kernel entry point. Seeded construction is
+// the sanctioned idiom; only the wall clock and the gray call are flagged.
+func Saturate(seed uint64, m map[int]float64) float64 {
+	r := rand.New(rand.NewSource(int64(seed)))
+	start := time.Now() // want `deterministic kernel reads the wall clock \(time.Now\)`
+	_ = start
+	_ = r
+
+	total := 0.0
+	for _, v := range m {
+		total += transfer(v) // want `calls transfer with loop-dependent arguments in map iteration order \(kernel packages require //detlint:ordered`
+	}
+	return total
+}
+
+// globalDraw uses the process-wide source: forbidden however convenient.
+func globalDraw(n int) int {
+	return rand.Intn(n) // want `deterministic kernel uses the global math/rand.Intn source`
+}
+
+// globalShuffle mutates through the global source too.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `deterministic kernel uses the global math/rand.Shuffle source`
+}
+
+// signatureUse mentions rand.Rand as a type only: not a draw, not flagged.
+func signatureUse(r *rand.Rand) int {
+	return r.Intn(8)
+}
+
+// vettedClock carries a reasoned wallclock suppression: metadata only.
+func vettedClock() time.Duration {
+	//seedlint:wallclock Elapsed is observability metadata, excluded from the deterministic encoding
+	t0 := time.Now()
+	return time.Since(t0) // want `deterministic kernel reads the wall clock \(time.Since\)`
+}
+
+// vetted shows the kernel escape hatch: an explicit, reasoned allowlist.
+func vetted(m map[int]float64) int {
+	n := 0
+	//detlint:ordered transfer is a pure arithmetic helper; only the commutative count escapes
+	for _, v := range m {
+		if transfer(v) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// pureSets stay silent: set builds and integer counters are provably safe.
+func pureSets(m map[int]int) (int, map[int]bool) {
+	seen := make(map[int]bool, len(m))
+	n := 0
+	for k := range m {
+		seen[k] = true
+		n++
+	}
+	return n, seen
+}
+
+func transfer(v float64) float64 { return v * 0.5 }
+
+// Elapsed measures nothing in a kernel: Since is a wall-clock read.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `deterministic kernel reads the wall clock \(time.Since\)`
+}

@@ -1,0 +1,47 @@
+package emit
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/core"
+)
+
+// TestTestableByteIdentical guards the determinism contract end to end:
+// independent compile+emit runs over the same input must serialize to the
+// same bytes — this is the property the detmap/seedpurity vet passes
+// enforce statically, checked here dynamically. Map-iteration leaks
+// anywhere in the pipeline (partition candidate scans, retime chain
+// emission, scan-order assembly) show up as diffs within a few runs.
+func TestTestableByteIdentical(t *testing.T) {
+	const runs = 5
+	var wantBench, wantScan string
+	for i := 0; i < runs; i++ {
+		c, err := bench89.S27()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.Compile(context.Background(), c, core.DefaultOptions(3, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, info, err := Testable(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bench := tc.BenchString()
+		scan := fmt.Sprintf("%v", info.ScanOrder)
+		if i == 0 {
+			wantBench, wantScan = bench, scan
+			continue
+		}
+		if bench != wantBench {
+			t.Fatalf("run %d: emitted bench differs from run 0:\nrun0:\n%s\nrun%d:\n%s", i, wantBench, i, bench)
+		}
+		if scan != wantScan {
+			t.Fatalf("run %d: scan order differs: %s vs %s", i, wantScan, scan)
+		}
+	}
+}

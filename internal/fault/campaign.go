@@ -90,6 +90,10 @@ type SegmentCoverage struct {
 }
 
 // CampaignReport aggregates a whole-partition campaign.
+//
+// Workers is configuration, not a counter, so it is not listed.
+//
+//obs:counters Total Detected Simulated Batches TriageBatches TriageDetected Survivors
 type CampaignReport struct {
 	// Segments holds the per-cluster outcomes in partition order.
 	Segments []SegmentCoverage
@@ -151,6 +155,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 	}
 	sp := obs.Start(ctx, "campaign", "campaign "+c.Name)
 	defer sp.End()
+	//seedlint:wallclock Elapsed is observability metadata, not part of the deterministic report encoding
 	start := time.Now()
 	workers := opt.Workers
 	if workers <= 0 {
@@ -170,7 +175,11 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 		collapser = NewCollapser(c)
 	}
 	for i, cl := range r.Clusters {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fault: campaign cancelled during segment build: %w", err)
+		}
 		inputs := make([]int, 0, len(cl.InputNets))
+		//detlint:ordered BuildSegment sorts its inputNets argument before indexing (sim/segment.go)
 		for e := range cl.InputNets {
 			inputs = append(inputs, e)
 		}
@@ -210,6 +219,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 	}
 	var jobs []batchJob
 	var seq uint64
+	//ctxlint:nocancel pure in-memory job packing over prebuilt segments; microseconds per iteration
 	for si, cs := range segs {
 		b := cs.budget
 		sess := 0
@@ -255,6 +265,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 	// (detected) faults are never re-simulated; at 100% triage coverage
 	// this stage has no jobs and the campaign exits early.
 	jobs = jobs[:0]
+	//ctxlint:nocancel pure in-memory survivor repacking; runBatchPool below owns cancellation
 	for si, cs := range segs {
 		if cs.budget <= triage {
 			continue // triage was already the full budget
@@ -284,6 +295,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 
 	// Aggregate in partition order, expanding collapsed classes back to
 	// the full fault list.
+	//ctxlint:nocancel in-memory aggregation after all simulation is done; the report is owed to the caller
 	for _, cs := range segs {
 		sc := SegmentCoverage{
 			Cluster:   cs.cluster.ID,
@@ -311,6 +323,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 		rep.Detected += sc.Detected
 		rep.Simulated += sc.Simulated
 	}
+	//seedlint:wallclock Elapsed is observability metadata, not part of the deterministic report encoding
 	rep.Elapsed = time.Since(start)
 	obs.L(ctx).Info("campaign done", "circuit", c.Name,
 		"faults", rep.Total, "detected", rep.Detected,

@@ -220,6 +220,10 @@ func checkCutSeparation(ctx *Context) []Diagnostic {
 			})
 		}
 	}
+	// truncate keeps the first maxPerRule entries, so the survivors must
+	// be chosen in a deterministic order, not the map iteration order of
+	// the loop above.
+	Sort(out)
 	return truncate(out)
 }
 

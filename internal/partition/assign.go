@@ -69,6 +69,7 @@ func AssignCBIT(r *Result, lk int) ([]MergeTrace, error) {
 			}
 			seen[e] = true
 		}
+		//detlint:ordered g.IsCell is a pure topology predicate; only commutative integer counts escape the loop
 		for e := range seen {
 			src := g.Nets[e].Source
 			if g.IsCell(src) && inUnion(src) {
@@ -194,6 +195,7 @@ func AssignCBIT(r *Result, lk int) ([]MergeTrace, error) {
 				delete(readers[e], bestIdx)
 				readers[e][oi] = true
 			}
+			//detlint:ordered g.IsCell is a pure topology predicate; deletions are keyed by the loop variable and converge to the same sets
 			for e := range o.inputs {
 				src := g.Nets[e].Source
 				if g.IsCell(src) && o.nodes[src] {

@@ -26,6 +26,12 @@ type Cluster struct {
 func (c *Cluster) Inputs() int { return len(c.InputNets) }
 
 // Result is a complete partition of a circuit graph's cells.
+//
+// The work counters below must survive every Result rebuild (the PR 5
+// dropped-counter bug lived here); BoundarySteps is not listed because it
+// is threaded through finalize's parameter rather than copied.
+//
+//obs:counters DFSVisits Resplits RefineMoves
 type Result struct {
 	G        *graph.G
 	SCC      *graph.SCCInfo
@@ -95,6 +101,7 @@ func (r *Result) Validate() error {
 		if len(want) != len(c.InputNets) {
 			return fmt.Errorf("partition: cluster %d inputs=%d, recomputed %d", ci, len(c.InputNets), len(want))
 		}
+		//detlint:ordered error path only: any missing net is a correct invariant-violation witness
 		for e := range want {
 			if _, ok := c.InputNets[e]; !ok {
 				return fmt.Errorf("partition: cluster %d missing input net %d", ci, e)

@@ -27,6 +27,7 @@ func Refine(r *Result, lk int, maxPasses int) int {
 
 	iota := func(ci int) int {
 		in := make(map[int]struct{})
+		//detlint:ordered g.IsCell is a pure topology predicate; the loop only builds a set, whose size is returned
 		for v := range clusters[ci] {
 			for _, e := range g.In[v] {
 				src := g.Nets[e].Source

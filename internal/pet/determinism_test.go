@@ -1,0 +1,40 @@
+package pet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/graph"
+)
+
+// TestAnalyzeByteIdentical: independent PET analyses of the same circuit
+// must produce identical serialized results — cone order, support order,
+// and the merge outcome may not depend on map iteration order. This is
+// the dynamic counterpart of the detmap vet pass over this package.
+func TestAnalyzeByteIdentical(t *testing.T) {
+	const runs = 5
+	var want string
+	for i := 0; i < runs; i++ {
+		c, err := bench89.S27()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.FromCircuit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(g, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%+v", a)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d: analysis differs from run 0:\nrun0: %s\nrun%d: %s", i, want, i, got)
+		}
+	}
+}

@@ -123,6 +123,7 @@ func SelfTest(c *netlist.Circuit, r *partition.Result, opt SelfTestOptions) ([]S
 	for i, sp := range plan.Segments {
 		cl := r.Clusters[i]
 		inputs := make([]int, 0, len(cl.InputNets))
+		//detlint:ordered BuildSegment sorts its inputNets argument before indexing (sim/segment.go)
 		for e := range cl.InputNets {
 			inputs = append(inputs, e)
 		}

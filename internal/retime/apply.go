@@ -2,6 +2,7 @@ package retime
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/netlist"
@@ -159,8 +160,16 @@ func Apply(c *netlist.Circuit, g *graph.G, cg *CombGraph, rho []int) (*netlist.C
 			return nil, err
 		}
 	}
-	for driver, n := range chainLen {
-		for k := 1; k <= n; k++ {
+	// Emit the DFF chains in sorted driver order: gate insertion order is
+	// part of the circuit's serialized form, so it must not follow map
+	// iteration order.
+	drivers := make([]string, 0, len(chainLen))
+	for driver := range chainLen {
+		drivers = append(drivers, driver)
+	}
+	sort.Strings(drivers)
+	for _, driver := range drivers {
+		for k := 1; k <= chainLen[driver]; k++ {
 			if _, err := out.AddGate(tap(driver, k), netlist.DFF, tap(driver, k-1)); err != nil {
 				return nil, err
 			}

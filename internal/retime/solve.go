@@ -9,6 +9,8 @@ import (
 
 // Solution is the outcome of solving for a legal retiming that places
 // registers on cut nets.
+//
+//obs:counters
 type Solution struct {
 	// Rho is the retiming labelling per vertex (Lemma 1's integer-valued
 	// vertex labels; host vertices included).

@@ -121,6 +121,7 @@ func (c *artifactCache) evictLocked() {
 	for len(c.entries) > c.cap {
 		var victimKey string
 		var victim *cacheEntry
+		//detlint:ordered lastUse values come from a monotonic generation counter and are unique, so the argmin is tie-free
 		for k, e := range c.entries {
 			select {
 			case <-e.ready:

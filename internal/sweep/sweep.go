@@ -236,6 +236,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 
 	// Fail fast on a malformed matrix: a bad job is a spec bug, not an
 	// experimental outcome.
+	//ctxlint:nocancel pure in-memory validation, microseconds per job; work has not started yet
 	for i, j := range jobs {
 		if j.Circuit == "" {
 			return nil, fmt.Errorf("sweep: job %d: empty circuit name", i)

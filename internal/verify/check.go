@@ -99,6 +99,7 @@ func Check(c *netlist.Circuit, g *graph.G, cg *retime.CombGraph, rho []int, cycl
 		if rt < 0 || rt >= cycles {
 			continue
 		}
+		//detlint:ordered counters are commutative and the early return is an error path where any missing net is a correct witness
 		for net, ov := range origHist[t] {
 			rv, ok := retHist[rt][net]
 			if !ok {
