@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
-	"repro/internal/fault"
+	"repro/internal/jobspec"
+	"repro/internal/netlist"
 )
 
 // coverRun bundles the flag values cover mode consumes.
@@ -25,54 +25,46 @@ type coverRun struct {
 	progress      bool   // live done/total batch line on stderr
 }
 
-// runCover compiles the circuit, fault-simulates every cluster of the
-// partition through the parallel campaign engine, and renders the coverage
-// report. It is the whole of `merced -cover`, factored for testability;
-// the exit code is 0 on success, 1 on any failure.
+// runCover is the whole of `merced -cover`, adapted onto the jobspec
+// funnel: compile through the artifact cache, fault-simulate the partition,
+// render. The exit code is 0 on success, 1 on any failure (an unloadable
+// circuit always reaches stderr and exits 1, whatever -format or stdout
+// redirection is in play).
 func runCover(ctx context.Context, cr coverRun, stdout, stderr io.Writer) int {
-	c, err := loadCircuit(cr.file, cr.circuit)
-	if err != nil {
-		fmt.Fprintln(stderr, "merced:", err)
+	if cr.file == "" && cr.circuit == "" {
+		fmt.Fprintln(stderr, "merced:", fmt.Errorf("one of -file or -circuit is required"))
 		return 1
 	}
-	opt := core.DefaultOptions(cr.lk, cr.seed)
-	opt.Beta = cr.beta
-	opt.SolveRetiming = !cr.noRetime
-	r, err := core.Compile(ctx, c, opt)
-	if err != nil {
-		fmt.Fprintln(stderr, "merced:", err)
-		return 1
+	name := cr.file
+	if name == "" {
+		name = cr.circuit
 	}
-	copt := fault.CampaignOptions{
-		MaxPatterns: cr.maxPatterns,
-		Seed:        cr.seed,
-		Workers:     cr.workers,
-		Collapse:    !cr.noCollapse,
+	s := &jobspec.Spec{
+		V:    jobspec.Version,
+		Kind: jobspec.KindCover,
+		Cover: &jobspec.Cover{
+			Circuit: name, LK: cr.lk, Beta: cr.beta, Seed: cr.seed,
+			NoRetimeSolver: cr.noRetime, Workers: cr.workers,
+			MaxPatterns: cr.maxPatterns, NoCollapse: cr.noCollapse,
+		},
+		Output: &jobspec.Output{
+			Format: cr.format, NoTiming: cr.noTiming,
+			Undetected: cr.undetected, Metrics: cr.metrics,
+		},
+	}
+	rt := jobspec.Runtime{
+		// -file opens exactly the named path (no .bench suffix heuristics),
+		// preserving the historical flag behavior.
+		Load: func(string) (*netlist.Circuit, error) { return loadCircuit(cr.file, cr.circuit) },
 	}
 	var prog *progressLine
 	if cr.progress {
 		prog = newProgressLine(stderr, "batches")
-		copt.Progress = prog.update
+		rt.Progress = prog.update
 	}
-	rep, err := fault.Campaign(ctx, c, r.Partition, copt)
+	err := jobspec.Run(ctx, s, stdout, rt)
 	if prog != nil {
 		prog.finish()
-	}
-	if err != nil {
-		fmt.Fprintln(stderr, "merced:", err)
-		return 1
-	}
-	opts := fault.RenderOptions{Timing: !cr.noTiming, Undetected: cr.undetected, Metrics: cr.metrics}
-	switch cr.format {
-	case "", "text":
-		err = rep.WriteText(stdout, opts)
-	case "json":
-		err = rep.WriteJSON(stdout, opts)
-	case "csv":
-		err = rep.WriteCSV(stdout, opts)
-	default:
-		fmt.Fprintf(stderr, "merced: unknown -format %q (want text, json, or csv)\n", cr.format)
-		return 1
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "merced:", err)

@@ -59,6 +59,27 @@ func TestCoverJSONHasSegments(t *testing.T) {
 	}
 }
 
+// A missing circuit file must reach stderr and exit 1 even when the report
+// format is JSON and stdout is redirected — the failure mode this pins is
+// the error landing inside the redirected stream (or nowhere) and the
+// process exiting 0 with an empty report.
+func TestCoverMissingFileExitsNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runCover(context.Background(), coverRun{
+		file: "/does/not/exist.bench", lk: 8, beta: 50, seed: 1,
+		format: "json", noTiming: true,
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d; want 1", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty on failure: %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "exist.bench") {
+		t.Errorf("stderr does not name the missing file: %q", errb.String())
+	}
+}
+
 func TestCoverBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := runCover(context.Background(), coverRun{circuit: "s27", lk: 3, beta: 50, seed: 1, format: "yaml"}, &out, &errb); code == 0 {

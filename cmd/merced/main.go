@@ -46,6 +46,15 @@
 //	merced -cover -circuit s1423 -lk 12 -workers 8 -format json -no-timing
 //	merced -cover -circuit s27 -lk 3 -max-patterns 4096 -undetected
 //
+// Serve mode runs the compiler as an HTTP daemon: POST a v1 jobspec
+// document (the same shape -spec reads) to /v1/jobs, stream progress from
+// /v1/jobs/{id}/events, fetch the byte-identical report from
+// /v1/jobs/{id}/result. A process-lifetime artifact cache is shared
+// across requests; SIGTERM drains in-flight jobs before exiting.
+//
+//	merced serve -addr localhost:8080 -workers 4
+//	merced serve -addr :0 -queue-depth 16 -log-level info
+//
 // The profiling flags `-cpuprofile` and `-memprofile` write pprof profiles
 // covering whichever mode ran:
 //
@@ -71,20 +80,22 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 
 	"repro/internal/bench89"
-	"repro/internal/cbit"
 	"repro/internal/core"
 	"repro/internal/emit"
+	"repro/internal/jobspec"
 	"repro/internal/netlist"
 	"repro/internal/obs"
-	"repro/internal/ppet"
-	"repro/internal/report"
-	"repro/internal/retime"
 )
 
 func main() {
+	// `merced serve` is a subcommand with its own flag set, dispatched
+	// before the classic flag modes parse.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:], os.Stdout, os.Stderr))
+	}
+
 	file := flag.String("file", "", "path to a .bench netlist")
 	circuit := flag.String("circuit", "", "built-in benchmark name (s27 or a Table 9 circuit)")
 	lk := flag.Int("lk", 16, "input-size constraint l_k")
@@ -251,67 +262,60 @@ type reportRun struct {
 	metrics       bool
 }
 
-// runReport is the default single-compilation mode, factored so the
-// profiling teardown in main runs even on failure paths.
+// runReport is the default single-compilation mode, adapted onto the
+// jobspec funnel (which owns the report rendering); only the -emit extra
+// stays here, hung off the Runtime hook so jobspec does not know about
+// netlist emission.
 func runReport(ctx context.Context, rr reportRun, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	c, err := loadCircuit(rr.file, rr.circuit)
-	if err != nil {
-		return fail(err)
+	if rr.file == "" && rr.circuit == "" {
+		return fail(fmt.Errorf("one of -file or -circuit is required"))
 	}
-	opt := core.DefaultOptions(rr.lk, rr.seed)
-	opt.Beta = rr.beta
-	opt.SolveRetiming = !rr.noRetime
-
-	r, err := core.Compile(ctx, c, opt)
-	if err != nil {
-		return fail(err)
+	name := rr.file
+	if name == "" {
+		name = rr.circuit
 	}
-	printReport(stdout, c, r, rr.lk, rr.verbose)
-	if rr.metrics {
-		m := obs.NewMetrics()
-		r.Counters.AddTo(m)
-		fmt.Fprintln(stdout)
-		if err := m.WriteTable(stdout); err != nil {
-			return fail(err)
-		}
+	s := &jobspec.Spec{
+		V:    jobspec.Version,
+		Kind: jobspec.KindCompile,
+		Compile: &jobspec.Compile{
+			Circuit: name, LK: rr.lk, Beta: rr.beta, Seed: rr.seed,
+			NoRetimeSolver: rr.noRetime, MinPeriod: rr.minPeriod, Verbose: rr.verbose,
+		},
+		Output: &jobspec.Output{Metrics: rr.metrics},
 	}
-
-	if rr.minPeriod {
-		cg := retime.Build(r.Graph)
-		zero := make([]int, len(cg.Vertices))
-		p0, err := cg.Period(zero)
-		if err != nil {
-			return fail(err)
-		}
-		_, p, err := retime.MinimizePeriod(cg)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stdout, "clock period (unit gate delays): %d as designed, %d after min-period retiming\n", p0, p)
+	rt := jobspec.Runtime{
+		// -file opens exactly the named path, preserving the historical
+		// flag behavior (no .bench suffix heuristics).
+		Load: func(string) (*netlist.Circuit, error) { return loadCircuit(rr.file, rr.circuit) },
 	}
-
 	if rr.emitPath != "" {
-		tc, info, err := emit.Testable(r)
-		if err != nil {
-			return fail(err)
+		rt.OnCompileResult = func(r *core.Result) error {
+			tc, info, err := emit.Testable(r)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(rr.emitPath)
+			if err != nil {
+				return err
+			}
+			if err := tc.WriteBench(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "emitted %s: %d converted registers, %d multiplexed cells, %d boundary cells, scan chain of %d, +%.0f area units\n",
+				rr.emitPath, info.Converted, info.Multiplexed-info.Boundary, info.Boundary, len(info.ScanOrder), info.AddedArea)
+			return nil
 		}
-		f, err := os.Create(rr.emitPath)
-		if err != nil {
-			return fail(err)
-		}
-		if err := tc.WriteBench(f); err != nil {
-			f.Close()
-			return fail(err)
-		}
-		if err := f.Close(); err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stdout, "emitted %s: %d converted registers, %d multiplexed cells, %d boundary cells, scan chain of %d, +%.0f area units\n",
-			rr.emitPath, info.Converted, info.Multiplexed-info.Boundary, info.Boundary, len(info.ScanOrder), info.AddedArea)
+	}
+	if err := jobspec.Run(ctx, s, stdout, rt); err != nil {
+		return fail(err)
 	}
 	return 0
 }
@@ -329,58 +333,5 @@ func loadCircuit(file, name string) (*netlist.Circuit, error) {
 		return bench89.Load(name)
 	default:
 		return nil, fmt.Errorf("one of -file or -circuit is required")
-	}
-}
-
-func printReport(w io.Writer, c *netlist.Circuit, r *core.Result, lk int, verbose bool) {
-	fmt.Fprintf(w, "Merced BIST compiler — %s\n", c)
-	fmt.Fprintf(w, "l_k=%d: %d clusters, max inputs %d, %d cut nets (%d on SCCs)\n",
-		lk, len(r.Partition.Clusters), r.Partition.MaxInputs(),
-		r.Areas.CutNets, r.Areas.CutNetsOnSCC)
-	fmt.Fprintf(w, "flip-flops: %d total, %d on SCCs\n", r.Areas.DFFs, r.Areas.DFFsOnSCC)
-	fmt.Fprintf(w, "flow: %d shortest-path trees; group split passes: %d; %d merges\n",
-		r.Flow.Trees, r.Partition.BoundarySteps, len(r.Merges))
-	if r.Retiming != nil {
-		fmt.Fprintf(w, "retiming: %d cut nets covered by repositioned registers, %d need multiplexed A_CELLs (%d solver rounds)\n",
-			len(r.Retiming.Covered), len(r.Retiming.Demoted), r.Retiming.Iterations)
-	}
-	fmt.Fprintf(w, "CBIT area: %.0f units with retiming vs %.0f without (circuit %.0f)\n",
-		r.Areas.CBITAreaRetimed, r.Areas.CBITAreaNonRetimed, r.Areas.CircuitArea)
-	fmt.Fprintf(w, "A_CBIT/A_Total: %.1f%% with retiming, %.1f%% without (saving %.1f points)\n",
-		r.Areas.RatioRetimed, r.Areas.RatioNonRetimed, r.Areas.Saving())
-
-	if plan, err := ppet.BuildPlan(r.Partition); err == nil {
-		pipes := ppet.Pipes(r.Partition)
-		fmt.Fprintf(w, "testing time: 2^%d = %.0f clock cycles across %d test pipes (widest CBIT dominates); serial PET would need %.0f (%.1fx)\n",
-			plan.MaxWidth, plan.TotalTime, len(pipes), ppet.PETTime(plan), plan.SpeedUp())
-	}
-	fmt.Fprintf(w, "compile time: %v (saturate %v, group %v, assign %v, retime %v)\n",
-		r.Elapsed, r.Phases.Saturate, r.Phases.Group, r.Phases.Assign, r.Phases.Retime)
-
-	if !verbose {
-		return
-	}
-	t := report.NewTable("\nClusters", "ID", "cells", "inputs", "CBIT type", "CBIT area")
-	for _, cl := range r.Partition.Clusters {
-		w2, ok := cbit.TypeFor(cl.Inputs())
-		typ, area := "-", 0.0
-		if ok {
-			typ = fmt.Sprintf("%d-bit", w2)
-			area = cbit.Area(w2)
-		}
-		t.AddRowf(cl.ID, len(cl.Nodes), cl.Inputs(), typ, area)
-	}
-	_ = t.Write(w)
-
-	if verbose && len(r.Partition.Clusters) <= 12 {
-		fmt.Fprintln(w, "\nCluster membership:")
-		for _, cl := range r.Partition.Clusters {
-			names := make([]string, 0, len(cl.Nodes))
-			for _, v := range cl.Nodes {
-				names = append(names, r.Graph.Nodes[v].Name)
-			}
-			sort.Strings(names)
-			fmt.Fprintf(w, "  %d: %v\n", cl.ID, names)
-		}
 	}
 }

@@ -9,12 +9,12 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/sweep"
+	"repro/internal/jobspec"
 )
 
 // sweepRun bundles the flag values sweep mode consumes.
 type sweepRun struct {
-	spec       string // JSON spec path; overrides the matrix flags
+	spec       string // v1 jobspec JSON path; overrides the matrix flags
 	circuits   string // comma list, or the aliases "all" / "small"
 	lks        string // comma list of l_k values
 	betas      string // comma list of beta values
@@ -41,33 +41,22 @@ type sweepRun struct {
 
 // runSweep executes the batch mode and returns the process exit code: 0
 // when every job succeeded, 1 on a setup failure or any failed job. It is
-// the whole of `merced -sweep`, factored for testability.
+// a thin adapter: the flags become a jobspec sweep request and the shared
+// jobspec.Run funnel does everything else, so `merced -sweep` and a job
+// POSTed to `merced serve` are the same code path.
 func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
-	jobs, err := sweepJobs(cfg)
+	s, err := sweepSpec(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	if cfg.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
-		defer cancel()
-	}
-	scfg := sweep.Config{
-		Workers:             cfg.workers,
-		JobTimeout:          cfg.jobTimeout,
-		NoRetimeSolver:      cfg.noRetime,
-		Lint:                cfg.lint,
-		NoCache:             cfg.noCache,
-		Coverage:            cfg.coverage,
-		CoverageMaxPatterns: cfg.coverageMaxPatterns,
-	}
+	var rt jobspec.Runtime
 	var prog *progressLine
 	if cfg.progress {
 		prog = newProgressLine(stderr, "jobs")
-		scfg.Progress = prog.update
+		rt.Progress = prog.update
 	}
-	rep, err := sweep.Run(ctx, jobs, scfg)
+	err = jobspec.Run(ctx, s, stdout, rt)
 	if prog != nil {
 		prog.finish()
 	}
@@ -75,47 +64,16 @@ func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	opts := sweep.RenderOptions{Timing: !cfg.noTiming, CacheStats: cfg.cacheStats, Metrics: cfg.metrics}
-	switch cfg.format {
-	case "", "text":
-		err = rep.WriteText(stdout, opts)
-	case "json":
-		err = rep.WriteJSON(stdout, opts)
-	case "csv":
-		err = rep.WriteCSV(stdout, opts)
-	default:
-		fmt.Fprintf(stderr, "merced: unknown -format %q (want text, json, or csv)\n", cfg.format)
-		return 1
-	}
-	if err != nil {
-		fmt.Fprintln(stderr, "merced:", err)
-		return 1
-	}
-	if rep.Stats.Failed > 0 {
-		fmt.Fprintln(stderr, "merced:", rep.FirstErr())
-		return 1
-	}
 	return 0
 }
 
-// sweepJobs builds the job list from the spec file or the matrix flags.
-func sweepJobs(cfg sweepRun) ([]sweep.Job, error) {
+// sweepSpec builds the jobspec request from the spec file or the matrix
+// flags.
+func sweepSpec(cfg sweepRun) (*jobspec.Spec, error) {
 	if cfg.spec != "" {
-		f, err := os.Open(cfg.spec)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		s, err := sweep.ParseSpec(f)
-		if err != nil {
-			return nil, err
-		}
-		return s.Expand()
+		return sweepSpecFile(cfg)
 	}
-	circuits, err := sweep.ExpandCircuits(splitList(cfg.circuits))
-	if err != nil {
-		return nil, err
-	}
+	circuits := splitList(cfg.circuits)
 	lks, err := splitInts("lks", cfg.lks)
 	if err != nil {
 		return nil, err
@@ -128,11 +86,91 @@ func sweepJobs(cfg sweepRun) ([]sweep.Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	jobs := sweep.Matrix(circuits, lks, betas, seeds)
-	if len(jobs) == 0 {
+	// An empty axis on the command line is a mistake, not a request for the
+	// defaults (that defaulting applies to absent JSON fields only).
+	if len(circuits) == 0 || len(lks) == 0 || len(betas) == 0 || len(seeds) == 0 {
 		return nil, fmt.Errorf("sweep matrix is empty (check -circuits/-lks/-betas/-seeds)")
 	}
-	return jobs, nil
+	s := &jobspec.Spec{
+		V:       jobspec.Version,
+		Kind:    jobspec.KindSweep,
+		Timeout: jobspec.Duration(cfg.timeout),
+		Sweep:   &jobspec.Sweep{Circuits: circuits, LKs: lks, Betas: betas, Seeds: seeds},
+	}
+	applySweepFlags(s, cfg)
+	return s, nil
+}
+
+// sweepSpecFile loads a v1 jobspec document for -spec. The file must be a
+// sweep request; explicitly set command-line flags override its fields, so
+// `-spec jobs.json -workers 8 -format csv` works the way the flag-only
+// form does.
+func sweepSpecFile(cfg sweepRun) (*jobspec.Spec, error) {
+	f, err := os.Open(cfg.spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := jobspec.Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	if s.Kind != jobspec.KindSweep {
+		return nil, fmt.Errorf("-spec: kind %q is not %q (only sweep specs run under -sweep; use `merced serve` for the rest)", s.Kind, jobspec.KindSweep)
+	}
+	if s.Sweep == nil {
+		s.Sweep = &jobspec.Sweep{}
+	}
+	applySweepFlags(s, cfg)
+	return s, nil
+}
+
+// applySweepFlags copies flag values into the spec. Only flags whose value
+// differs from the flag default are applied, so a spec file's own settings
+// survive unless the command line explicitly overrides them. (A Boolean
+// flag can therefore turn a spec setting on but not off, and `-format
+// text` cannot override a file's "json" — the limits of flag defaulting.)
+func applySweepFlags(s *jobspec.Spec, cfg sweepRun) {
+	sw := s.Sweep
+	if cfg.workers != 0 {
+		sw.Workers = cfg.workers
+	}
+	if cfg.timeout != 0 {
+		s.Timeout = jobspec.Duration(cfg.timeout)
+	}
+	if cfg.jobTimeout != 0 {
+		sw.JobTimeout = jobspec.Duration(cfg.jobTimeout)
+	}
+	if cfg.noRetime {
+		sw.NoRetimeSolver = true
+	}
+	if cfg.lint {
+		sw.Lint = true
+	}
+	if cfg.noCache {
+		sw.NoCache = true
+	}
+	if cfg.coverage {
+		sw.Coverage = true
+	}
+	if cfg.coverageMaxPatterns != 0 {
+		sw.MaxPatterns = cfg.coverageMaxPatterns
+	}
+	if s.Output == nil {
+		s.Output = &jobspec.Output{}
+	}
+	if cfg.format != "" && cfg.format != "text" {
+		s.Output.Format = cfg.format
+	}
+	if cfg.noTiming {
+		s.Output.NoTiming = true
+	}
+	if cfg.cacheStats {
+		s.Output.CacheStats = true
+	}
+	if cfg.metrics {
+		s.Output.Metrics = true
+	}
 }
 
 func splitList(s string) []string {

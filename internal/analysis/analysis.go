@@ -153,7 +153,9 @@ var kernelPackages = map[string]bool{
 // entryPackages are the packages whose exported entry paths honor the
 // context-cancellation contract established in PR 2.
 var entryPackages = map[string]bool{
-	"core":  true,
-	"sweep": true,
-	"fault": true,
+	"core":    true,
+	"sweep":   true,
+	"fault":   true,
+	"jobspec": true,
+	"serve":   true,
 }

@@ -1,22 +1,38 @@
 package sweep
 
-// This file is the sweep engine's shared-prefix artifact cache. The staged
-// core pipeline (core.Parsed → Analyzed → Saturated) is a pure function of
-// (circuit, seed, flow.Config) — none of the per-job knobs (l_k, β, refine)
-// enter before MakePartition — so a sweep matrix that crosses one circuit
-// with many downstream coordinates can compute the expensive prefix once
-// and branch at partitioning. The cache is:
+// This file is the shared-prefix artifact cache. The staged core pipeline
+// (core.Parsed → Analyzed → Saturated) is a pure function of (circuit,
+// seed, flow.Config) — none of the per-job knobs (l_k, β, refine) enter
+// before MakePartition — so any batch of compilations that crosses one
+// circuit with many downstream coordinates can compute the expensive
+// prefix once and branch at partitioning. The cache is:
 //
 //   - singleflight: the first job to request a key computes it while every
 //     concurrent requester blocks on the same entry, so a stage is computed
-//     exactly once no matter how many workers race for it;
+//     exactly once no matter how many workers (or server requests) race for
+//     it;
 //   - bounded: least-recently-used ready entries are evicted once the entry
 //     count exceeds the capacity (in-flight computations are never evicted);
 //   - error-transparent: a failed computation is handed to its waiters but
 //     never cached, so a job cancelled mid-saturate cannot poison later
 //     jobs that share the key.
+//
+// A Cache used to be private to one sweep.Run; the serve daemon promotes it
+// to process lifetime by constructing one with NewCache and passing it to
+// every run via Config.Cache (and to single compilations via
+// Cache.Compile). Cumulative counters are read with Stats; each run
+// additionally tracks its own hit/miss/eviction deltas so Report.Cache
+// describes only that run's traffic.
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
 
 // cacheStage identifies which pipeline stage an entry (and its statistics)
 // belongs to.
@@ -38,20 +54,21 @@ type StageStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// CacheStats reports the artifact cache's per-stage effectiveness for a
-// finished sweep; `merced -sweep -cache-stats` surfaces it.
+// CacheStats reports a cache's per-stage effectiveness; `merced -sweep
+// -cache-stats` surfaces a run's deltas and the serve daemon's /metrics
+// endpoint the process-lifetime totals.
 type CacheStats struct {
 	Parsed    StageStats `json:"parsed"`
 	Analyzed  StageStats `json:"analyzed"`
 	Saturated StageStats `json:"saturated"`
-	// Entries and Capacity describe the cache's final occupancy and bound.
+	// Entries and Capacity describe the cache's current occupancy and bound.
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
 }
 
-// DefaultCacheEntries bounds the artifact cache when Config.CacheEntries is
-// unset: comfortably above the distinct (circuit, seed) prefixes of a
-// Tables 10-12 sweep, small enough that pathological matrices stay bounded.
+// DefaultCacheEntries bounds the artifact cache when the capacity is unset:
+// comfortably above the distinct (circuit, seed) prefixes of a Tables 10-12
+// sweep, small enough that pathological matrices stay bounded.
 const DefaultCacheEntries = 256
 
 type cacheEntry struct {
@@ -63,8 +80,11 @@ type cacheEntry struct {
 	lastUse int64
 }
 
-// artifactCache is the bounded singleflight store behind a sweep run.
-type artifactCache struct {
+// Cache is the bounded singleflight artifact store. The zero value is not
+// usable; call NewCache. A Cache outlives any single run: the serve daemon
+// keeps one for the whole process so repeat circuits hit the Saturated
+// prefix instantly, across requests.
+type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	gen     int64
@@ -72,23 +92,40 @@ type artifactCache struct {
 	stats   [3]StageStats
 }
 
-func newArtifactCache(capacity int) *artifactCache {
+// NewCache returns an empty cache bounded to capacity entries
+// (DefaultCacheEntries when capacity <= 0).
+func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheEntries
 	}
-	return &artifactCache{cap: capacity, entries: make(map[string]*cacheEntry)}
+	return &Cache{cap: capacity, entries: make(map[string]*cacheEntry)}
 }
+
+// newArtifactCache is the historical constructor name, kept for the
+// package's own call sites and tests.
+func newArtifactCache(capacity int) *Cache { return NewCache(capacity) }
 
 // getOrCompute returns the cached value for key, computing it with fn on a
 // miss. computed reports whether this call ran fn — callers use it to
 // attribute the stage's cost to exactly one job. On error the entry is
 // dropped so a later request recomputes.
-func (c *artifactCache) getOrCompute(st cacheStage, key string, fn func() (any, error)) (val any, computed bool, err error) {
+func (c *Cache) getOrCompute(st cacheStage, key string, fn func() (any, error)) (val any, computed bool, err error) {
+	return c.getOrComputeTracked(st, key, nil, fn)
+}
+
+// getOrComputeTracked is getOrCompute with per-run attribution: when per is
+// non-nil, the outcome is counted there as well as in the cumulative stats.
+// per is written only under the cache mutex, so one tracker may be shared
+// by every worker of a run.
+func (c *Cache) getOrComputeTracked(st cacheStage, key string, per *[3]StageStats, fn func() (any, error)) (val any, computed bool, err error) {
 	c.mu.Lock()
 	c.gen++
 	if e, ok := c.entries[key]; ok {
 		e.lastUse = c.gen
 		c.stats[st].Hits++
+		if per != nil {
+			per[st].Hits++
+		}
 		c.mu.Unlock()
 		<-e.ready
 		return e.val, false, e.err
@@ -96,6 +133,9 @@ func (c *artifactCache) getOrCompute(st cacheStage, key string, fn func() (any, 
 	e := &cacheEntry{ready: make(chan struct{}), stage: st, lastUse: c.gen}
 	c.entries[key] = e
 	c.stats[st].Misses++
+	if per != nil {
+		per[st].Misses++
+	}
 	c.mu.Unlock()
 
 	e.val, e.err = fn()
@@ -109,15 +149,16 @@ func (c *artifactCache) getOrCompute(st cacheStage, key string, fn func() (any, 
 			delete(c.entries, key)
 		}
 	} else {
-		c.evictLocked()
+		c.evictLocked(per)
 	}
 	c.mu.Unlock()
 	return e.val, true, e.err
 }
 
 // evictLocked drops least-recently-used ready entries until the bound
-// holds. In-flight entries are skipped — evicting one would strand waiters.
-func (c *artifactCache) evictLocked() {
+// holds, attributing the evictions to the run that inserted past it.
+// In-flight entries are skipped — evicting one would strand waiters.
+func (c *Cache) evictLocked(per *[3]StageStats) {
 	for len(c.entries) > c.cap {
 		var victimKey string
 		var victim *cacheEntry
@@ -137,11 +178,15 @@ func (c *artifactCache) evictLocked() {
 		}
 		delete(c.entries, victimKey)
 		c.stats[victim.stage].Evictions++
+		if per != nil {
+			per[victim.stage].Evictions++
+		}
 	}
 }
 
-// Stats snapshots the cache counters.
-func (c *artifactCache) Stats() CacheStats {
+// Stats snapshots the cumulative counters — every hit, miss, and eviction
+// since the cache was constructed, across all runs that shared it.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
@@ -151,4 +196,58 @@ func (c *artifactCache) Stats() CacheStats {
 		Entries:   len(c.entries),
 		Capacity:  c.cap,
 	}
+}
+
+// statsFor assembles a run-scoped CacheStats: the run's own per-stage
+// deltas over the cache's current occupancy. With a run-private cache the
+// result equals Stats().
+func (c *Cache) statsFor(per *[3]StageStats) CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Parsed:    per[stageParsed],
+		Analyzed:  per[stageAnalyzed],
+		Saturated: per[stageSaturated],
+		Entries:   len(c.entries),
+		Capacity:  c.cap,
+	}
+}
+
+// Compile runs one compilation through the shared-prefix cache: the
+// parse/analyze/saturate stages hit (or fill) the cache exactly as sweep
+// jobs do, and core.CompileFrom finishes the per-job suffix. name resolves
+// through load (LoadCircuit when nil). It is the single-job funnel the
+// jobspec runner uses for compile and cover jobs, so a serve daemon's
+// one-off compilations share prefixes with its sweeps.
+//
+// Result.Elapsed covers the whole call — load included on a cold cache —
+// matching core.Compile's accounting for the uncached case.
+func (c *Cache) Compile(ctx context.Context, name string, load func(string) (*netlist.Circuit, error), opt core.Options) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if load == nil {
+		load = LoadCircuit
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	pv, _, err := cacheStagedArtifact(ctx, c, stageParsed, "parsed:"+name, nil, func() (any, error) {
+		sp := obs.Start(ctx, "stage", "parse "+name)
+		defer sp.End()
+		cir, err := load(name)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewParsed(cir)
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileStaged(ctx, pv.(*core.Parsed), c, nil, opt)
+	if r != nil && err == nil {
+		r.Elapsed = time.Since(start)
+	}
+	return r, err
 }

@@ -1,81 +1,16 @@
 package sweep
 
 // This file builds job matrices: the cross product of circuits × l_k ×
-// beta × seed that reproduces the paper's Tables 10-12, from CLI flags or
-// a JSON spec file.
+// beta × seed that reproduces the paper's Tables 10-12. The JSON request
+// shape that used to live here (the `-spec` file) moved to
+// internal/jobspec, the versioned job model shared by the CLI and the
+// serve daemon; jobspec expands its sweep bodies through these helpers.
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 
 	"repro/internal/bench89"
 )
-
-// Spec is the JSON sweep description consumed by `merced -sweep -spec`:
-// the matrix fields are crossed into jobs, then any explicit Jobs are
-// appended verbatim.
-//
-//	{
-//	  "circuits": ["all"],
-//	  "lks": [16, 24],
-//	  "betas": [50],
-//	  "seeds": [1],
-//	  "jobs": [{"circuit": "s27", "lk": 3, "seed": 7}]
-//	}
-type Spec struct {
-	// Circuits lists built-in names, .bench paths, or the aliases "all"
-	// (s27 plus every Table 9 circuit) and "small" (the fast subset).
-	Circuits []string `json:"circuits,omitempty"`
-	// LKs defaults to the paper's {16, 24} when Circuits is non-empty.
-	LKs []int `json:"lks,omitempty"`
-	// Betas defaults to the paper's {50}.
-	Betas []int `json:"betas,omitempty"`
-	// Seeds defaults to {1}.
-	Seeds []int64 `json:"seeds,omitempty"`
-	// Jobs are appended after the matrix expansion.
-	Jobs []Job `json:"jobs,omitempty"`
-}
-
-// ParseSpec decodes a Spec, rejecting unknown fields so a typo'd key fails
-// loudly instead of silently shrinking the experiment.
-func ParseSpec(r io.Reader) (*Spec, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	var s Spec
-	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("sweep: parsing spec: %w", err)
-	}
-	return &s, nil
-}
-
-// Expand turns the spec into the concrete job list: matrix first (circuit-
-// major, then l_k, beta, seed — the row order of Tables 10-12), explicit
-// jobs after.
-func (s *Spec) Expand() ([]Job, error) {
-	circuits, err := ExpandCircuits(s.Circuits)
-	if err != nil {
-		return nil, err
-	}
-	lks := s.LKs
-	if len(lks) == 0 {
-		lks = []int{16, 24}
-	}
-	betas := s.Betas
-	if len(betas) == 0 {
-		betas = []int{50}
-	}
-	seeds := s.Seeds
-	if len(seeds) == 0 {
-		seeds = []int64{1}
-	}
-	jobs := Matrix(circuits, lks, betas, seeds)
-	jobs = append(jobs, s.Jobs...)
-	if len(jobs) == 0 {
-		return nil, fmt.Errorf("sweep: spec expands to no jobs")
-	}
-	return jobs, nil
-}
 
 // Matrix crosses the axes into jobs, circuit-major then l_k, beta, seed:
 // the deterministic input order that Report.Jobs preserves.

@@ -101,8 +101,16 @@ type Config struct {
 	// exists for A/B benchmarking and as an escape hatch.
 	NoCache bool
 	// CacheEntries bounds the artifact cache; <= 0 means
-	// DefaultCacheEntries.
+	// DefaultCacheEntries. Ignored when Cache is set.
 	CacheEntries int
+	// Cache, when non-nil, is an externally owned artifact cache shared
+	// across runs — the serve daemon passes one process-lifetime Cache to
+	// every request so repeat circuits hit the Saturated prefix instantly.
+	// Report.Cache then counts only this run's hits/misses/evictions (the
+	// deltas); Cache.Stats accumulates across every run. When nil, Run
+	// constructs a private cache bounded by CacheEntries, which makes the
+	// deltas and the totals coincide.
+	Cache *Cache
 	// Coverage runs a fault-coverage campaign (internal/fault.Campaign)
 	// over each successfully compiled job's partition and attaches the
 	// report to JobResult.Coverage. Campaigns run single-worker inside the
@@ -192,10 +200,13 @@ func (s Stats) Speedup() float64 {
 type Report struct {
 	Jobs  []JobResult
 	Stats Stats
-	// Cache reports the shared-prefix artifact cache's per-stage hits,
-	// misses, and evictions. Under Config.NoCache the analyzed and
-	// saturated counters stay zero; the parsed counters always reflect
-	// the circuit preload, which deduplicates through the cache.
+	// Cache reports this run's shared-prefix artifact cache traffic:
+	// per-stage hits, misses, and evictions attributed to this run's jobs
+	// (with a shared Config.Cache that is a delta against the process
+	// totals; with a private cache it is everything). Under Config.NoCache
+	// the analyzed and saturated counters stay zero; the parsed counters
+	// always reflect the circuit preload, which deduplicates through the
+	// cache.
 	Cache CacheStats
 }
 
@@ -252,10 +263,16 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	// immutable afterwards, so workers share it directly — no per-job
 	// clone. Loading goes through the cache purely so the parsed-stage
 	// hit/miss counters reflect the matrix shape.
-	cache := newArtifactCache(cfg.CacheEntries)
+	cache := cfg.Cache
+	if cache == nil {
+		cache = newArtifactCache(cfg.CacheEntries)
+	}
+	// per tracks this run's own cache traffic; it is written only under the
+	// cache mutex and read after the pool has drained.
+	per := new([3]StageStats)
 	masters := make(map[string]*core.Parsed, len(jobs))
 	for i, j := range jobs {
-		v, _, err := cache.getOrCompute(stageParsed, "parsed:"+j.Circuit, func() (any, error) {
+		v, _, err := cache.getOrComputeTracked(stageParsed, "parsed:"+j.Circuit, per, func() (any, error) {
 			sp := obs.Start(ctx, "stage", "parse "+j.Circuit)
 			defer sp.End()
 			c, err := load(j.Circuit)
@@ -289,7 +306,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 				if traced {
 					sp = obs.Start(wctx, "sweep", "job "+jobs[i].String())
 				}
-				results[i] = runJob(wctx, jobs[i], masters[jobs[i].Circuit], cache, cfg)
+				results[i] = runJob(wctx, jobs[i], masters[jobs[i].Circuit], cache, per, cfg)
 				sp.End()
 				if err := results[i].Err; err != nil {
 					log.Warn("sweep job failed", "job", jobs[i].String(), "err", err)
@@ -313,14 +330,14 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 
 	rep := &Report{Jobs: results}
 	rep.Stats = aggregate(results, workers, time.Since(start))
-	rep.Cache = cache.Stats()
+	rep.Cache = cache.statsFor(per)
 	obs.L(ctx).Info("sweep done", "jobs", rep.Stats.Jobs,
 		"failed", rep.Stats.Failed, "workers", rep.Stats.Workers,
 		"wall", rep.Stats.Wall)
 	return rep, nil
 }
 
-func runJob(ctx context.Context, j Job, master *core.Parsed, cache *artifactCache, cfg Config) (res JobResult) {
+func runJob(ctx context.Context, j Job, master *core.Parsed, cache *Cache, per *[3]StageStats, cfg Config) (res JobResult) {
 	res.Job = j
 	defer func() {
 		if r := recover(); r != nil {
@@ -355,7 +372,7 @@ func runJob(ctx context.Context, j Job, master *core.Parsed, cache *artifactCach
 		// before the staged pipeline existed).
 		r, err = core.Compile(ctx, master.Circuit().Clone(), opt)
 	default:
-		r, err = compileStaged(ctx, master, cache, opt)
+		r, err = compileStaged(ctx, master, cache, per, opt)
 	}
 	res.Elapsed = time.Since(begin)
 	if err != nil {
@@ -395,8 +412,8 @@ func runJob(ctx context.Context, j Job, master *core.Parsed, cache *artifactCach
 // branching at partitioning via core.CompileFrom. The shared-stage phase
 // timings are attributed only to the job that actually computed the stage,
 // so aggregated phase totals measure real work, not double-counted reuse.
-func compileStaged(ctx context.Context, p *core.Parsed, cache *artifactCache, opt core.Options) (*core.Result, error) {
-	av, computedA, err := cacheStagedArtifact(ctx, cache, stageAnalyzed, p.AnalyzeKey(), func() (any, error) {
+func compileStaged(ctx context.Context, p *core.Parsed, cache *Cache, per *[3]StageStats, opt core.Options) (*core.Result, error) {
+	av, computedA, err := cacheStagedArtifact(ctx, cache, stageAnalyzed, p.AnalyzeKey(), per, func() (any, error) {
 		return core.Analyze(ctx, p)
 	})
 	if err != nil {
@@ -405,7 +422,7 @@ func compileStaged(ctx context.Context, p *core.Parsed, cache *artifactCache, op
 	a := av.(*core.Analyzed)
 
 	fcfg := opt.FlowConfig()
-	sv, computedS, err := cacheStagedArtifact(ctx, cache, stageSaturated, a.SaturateKey(fcfg), func() (any, error) {
+	sv, computedS, err := cacheStagedArtifact(ctx, cache, stageSaturated, a.SaturateKey(fcfg), per, func() (any, error) {
 		return core.SaturateNetwork(ctx, a, fcfg)
 	})
 	if err != nil {
@@ -429,9 +446,9 @@ func compileStaged(ctx context.Context, p *core.Parsed, cache *artifactCache, op
 // when a *shared* computation fails with another job's cancellation while
 // this job's own context is still live, request again (the failed entry was
 // dropped, so the retry recomputes under this job's context).
-func cacheStagedArtifact(ctx context.Context, cache *artifactCache, st cacheStage, key string, fn func() (any, error)) (any, bool, error) {
+func cacheStagedArtifact(ctx context.Context, cache *Cache, st cacheStage, key string, per *[3]StageStats, fn func() (any, error)) (any, bool, error) {
 	for {
-		v, computed, err := cache.getOrCompute(st, key, fn)
+		v, computed, err := cache.getOrComputeTracked(st, key, per, fn)
 		if err == nil || computed || ctx.Err() != nil ||
 			!(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return v, computed, err

@@ -200,46 +200,82 @@ func TestSetupFailures(t *testing.T) {
 	}
 }
 
-func TestSpecExpand(t *testing.T) {
-	spec, err := ParseSpec(strings.NewReader(`{
-		"circuits": ["small"],
-		"lks": [16],
-		"jobs": [{"circuit": "s27", "lk": 3, "seed": 7}]
-	}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	jobs, err := spec.Expand()
-	if err != nil {
-		t.Fatal(err)
-	}
-	last := jobs[len(jobs)-1]
-	if last != (Job{Circuit: "s27", LK: 3, Seed: 7}) {
-		t.Errorf("explicit job mangled: %+v", last)
-	}
-	for _, j := range jobs[:len(jobs)-1] {
-		if j.LK != 16 || j.Beta != 50 || j.Seed != 1 {
-			t.Errorf("matrix defaults not applied: %+v", j)
+// A Cache handed in via Config.Cache survives across runs: the second run
+// over the same (circuit, seed, flow) prefix reuses every stage, its
+// Report.Cache shows only its own traffic (all hits), and Cache.Stats
+// accumulates the totals — the process-lifetime behavior the serve daemon
+// depends on.
+func TestSharedCacheAcrossRuns(t *testing.T) {
+	cache := NewCache(0)
+	jobs := Matrix([]string{"s27"}, []int{3, 4}, []int{50}, []int64{1})
+	run := func() *Report {
+		t.Helper()
+		rep, err := Run(context.Background(), jobs, Config{Workers: 2, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
 		}
+		if rep.Stats.Failed != 0 {
+			t.Fatal(rep.FirstErr())
+		}
+		return rep
 	}
-	if jobs[0].Circuit != "s27" {
-		t.Errorf("small alias should start at s27, got %q", jobs[0].Circuit)
+	cold := run()
+	if got := cold.Cache.Saturated; got.Misses != 1 || got.Hits != 1 {
+		t.Errorf("cold run saturated stats = %+v, want 1 miss + 1 hit", got)
+	}
+	warm := run()
+	if got := warm.Cache.Saturated; got.Misses != 0 || got.Hits != 2 {
+		t.Errorf("warm run saturated stats = %+v, want 0 misses + 2 hits (delta, not cumulative)", got)
+	}
+	if got := warm.Cache.Parsed.Misses; got != 0 {
+		t.Errorf("warm run re-parsed the circuit: %+v", warm.Cache.Parsed)
+	}
+	total := cache.Stats()
+	if got := total.Saturated; got.Misses != 1 || got.Hits != 3 {
+		t.Errorf("cumulative saturated stats = %+v, want 1 miss + 3 hits", got)
+	}
+
+	// Byte-identical reports, cold or warm: caching may never change output.
+	var coldBuf, warmBuf bytes.Buffer
+	if err := cold.WriteJSON(&coldBuf, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.WriteJSON(&warmBuf, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if coldBuf.String() != warmBuf.String() {
+		t.Errorf("warm-cache report diverged:\n--- cold\n%s\n--- warm\n%s", coldBuf.String(), warmBuf.String())
 	}
 }
 
-func TestSpecRejectsUnknownFields(t *testing.T) {
-	if _, err := ParseSpec(strings.NewReader(`{"circuitz": ["s27"]}`)); err == nil {
-		t.Error("typo'd spec key accepted")
-	}
-}
-
-func TestSpecEmpty(t *testing.T) {
-	spec, err := ParseSpec(strings.NewReader(`{}`))
+// Cache.Compile is the single-job funnel: it must price exactly like
+// core.Compile and share the prefix with sweep jobs in the same cache.
+func TestCacheCompileMatchesCoreCompile(t *testing.T) {
+	cache := NewCache(0)
+	opt := core.DefaultOptions(3, 1)
+	viaCache, err := cache.Compile(context.Background(), "s27", nil, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := spec.Expand(); err == nil {
-		t.Error("empty spec expanded to jobs")
+	c, err := LoadCircuit("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Compile(context.Background(), c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCache.Areas != direct.Areas {
+		t.Errorf("cached compile priced differently:\ncache:  %+v\ndirect: %+v", viaCache.Areas, direct.Areas)
+	}
+	// A sweep job over the same prefix must hit all three stages.
+	rep, err := Run(context.Background(), Matrix([]string{"s27"}, []int{3}, []int{50}, []int64{1}), Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rep.Cache
+	if cs.Parsed.Misses != 0 || cs.Analyzed.Misses != 0 || cs.Saturated.Misses != 0 {
+		t.Errorf("sweep after Cache.Compile recomputed the prefix: %+v", cs)
 	}
 }
 
