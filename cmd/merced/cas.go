@@ -1,0 +1,88 @@
+package main
+
+// The `merced cas` subcommand: maintenance for a -cache-dir store.
+//
+//	merced cas stats -cache-dir .merced-cache
+//	merced cas gc -cache-dir .merced-cache -max-age 168h -max-bytes 1000000000
+//	merced cas gc -cache-dir .merced-cache -purge-quarantine
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/cas"
+)
+
+// runCAS dispatches the store-maintenance verbs. Exit codes: 0 on
+// success, 1 on a store error, 2 on usage errors.
+func runCAS(args []string, stdout, stderr io.Writer) int {
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: merced cas <stats|gc> -cache-dir DIR [gc flags]")
+		return 2
+	}
+	if len(args) == 0 {
+		return usage()
+	}
+	verb, rest := args[0], args[1:]
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "merced cas:", err)
+		return 1
+	}
+	switch verb {
+	case "stats":
+		fs := flag.NewFlagSet("merced cas stats", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		dir := fs.String("cache-dir", "", "artifact store directory (required)")
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if *dir == "" {
+			fmt.Fprintln(stderr, "merced cas stats: -cache-dir is required")
+			return 2
+		}
+		st, err := cas.Open(*dir)
+		if err != nil {
+			return fail(err)
+		}
+		stats, err := st.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := stats.WriteTo(stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	case "gc":
+		fs := flag.NewFlagSet("merced cas gc", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		dir := fs.String("cache-dir", "", "artifact store directory (required)")
+		maxAge := fs.Duration("max-age", 0, "delete entries last written more than this long ago (0: no age limit)")
+		maxBytes := fs.Int64("max-bytes", 0, "evict least recently written entries until the store fits (0: no size limit)")
+		purge := fs.Bool("purge-quarantine", false, "also delete quarantined (corrupt) entries")
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if *dir == "" {
+			fmt.Fprintln(stderr, "merced cas gc: -cache-dir is required")
+			return 2
+		}
+		st, err := cas.Open(*dir)
+		if err != nil {
+			return fail(err)
+		}
+		rep, err := st.GC(cas.GCOptions{MaxAge: *maxAge, MaxBytes: *maxBytes, PurgeQuarantine: *purge})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "kept %d entries (%d bytes); quarantined %d corrupt, expired %d, evicted %d, purged %d (%d bytes freed)\n",
+			rep.Kept, rep.KeptBytes, rep.Corrupt, rep.Expired, rep.Evicted, rep.Purged, rep.FreedBytes)
+		if rep.CheckErrors > 0 {
+			fmt.Fprintf(stderr, "merced cas gc: %d entries could not be read\n", rep.CheckErrors)
+			return 1
+		}
+		return 0
+	default:
+		return usage()
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/jobspec"
 	"repro/internal/netlist"
+	"repro/internal/sweep"
 )
 
 // coverRun bundles the flag values cover mode consumes.
@@ -23,6 +24,10 @@ type coverRun struct {
 	noTiming      bool   // deterministic output: omit wall-clock fields
 	metrics       bool   // append the campaign.* counter table/object
 	progress      bool   // live done/total batch line on stderr
+
+	// cache, when non-nil, is the two-tier cache backed by -cache-dir;
+	// main owns it and flushes pending disk writes after the mode returns.
+	cache *sweep.Cache
 }
 
 // runCover is the whole of `merced -cover`, adapted onto the jobspec
@@ -53,6 +58,7 @@ func runCover(ctx context.Context, cr coverRun, stdout, stderr io.Writer) int {
 		},
 	}
 	rt := jobspec.Runtime{
+		Cache: cr.cache,
 		// -file opens exactly the named path (no .bench suffix heuristics),
 		// preserving the historical flag behavior.
 		Load: func(string) (*netlist.Circuit, error) { return loadCircuit(cr.file, cr.circuit) },

@@ -82,18 +82,27 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench89"
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/emit"
 	"repro/internal/jobspec"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/sweep"
 )
 
 func main() {
-	// `merced serve` is a subcommand with its own flag set, dispatched
-	// before the classic flag modes parse.
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		os.Exit(runServe(os.Args[2:], os.Stdout, os.Stderr))
+	// `merced serve`, `merced merge`, and `merced cas` are subcommands with
+	// their own flag sets, dispatched before the classic flag modes parse.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(runServe(os.Args[2:], os.Stdout, os.Stderr))
+		case "merge":
+			os.Exit(runMerge(os.Args[2:], os.Stdout, os.Stderr))
+		case "cas":
+			os.Exit(runCAS(os.Args[2:], os.Stdout, os.Stderr))
+		}
 	}
 
 	file := flag.String("file", "", "path to a .bench netlist")
@@ -120,8 +129,10 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "with -sweep: per-job deadline (0: none)")
 	format := flag.String("format", "text", "with -sweep/-cover: output format (text, json, csv)")
 	noTiming := flag.Bool("no-timing", false, "with -sweep/-cover: omit wall-clock fields for byte-reproducible output")
-	cacheStats := flag.Bool("cache-stats", false, "with -sweep: report artifact-cache hits/misses/evictions per stage")
+	cacheStats := flag.Bool("cache-stats", false, "with -sweep: report artifact-cache memory/disk hits, misses, and evictions per stage")
 	noCache := flag.Bool("no-cache", false, "with -sweep: disable shared-prefix artifact reuse (every job compiles from scratch)")
+	cacheDir := flag.String("cache-dir", "", "persistent content-addressed artifact store backing the cache (shared across runs; maintain with `merced cas`)")
+	shardFlag := flag.String("shard", "", "with -sweep: run slice i/N of the job matrix and emit a shard document (reassemble with `merced merge`)")
 	sweepCoverage := flag.Bool("coverage", false, "with -sweep: fault-simulate each job's partition and report coverage")
 	doCover := flag.Bool("cover", false, "run the parallel fault-coverage campaign instead of a single report")
 	maxPatterns := flag.Uint64("max-patterns", 0, "with -cover/-sweep -coverage: per-fault pattern cap (0: full pseudo-exhaustive budget)")
@@ -146,6 +157,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merced:", err)
 		os.Exit(1)
+	}
+
+	// -cache-dir backs the artifact cache with a persistent content-
+	// addressed store: hits survive process restarts, and concurrent
+	// sharded runs can share one directory (writes are atomic renames).
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		st, err := cas.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merced:", err)
+			os.Exit(1)
+		}
+		cache = sweep.NewCacheWithStore(0, st)
 	}
 
 	// The rule catalog sits inside the profiled region like every other
@@ -174,7 +198,7 @@ func main() {
 			spec: *sweepSpec, circuits: *circuits, lks: *lks, betas: *betas, seeds: *seeds,
 			workers: *workers, timeout: *timeout, jobTimeout: *jobTimeout,
 			noRetime: *noRetime, lint: *doLint, format: *format, noTiming: *noTiming,
-			cacheStats: *cacheStats, noCache: *noCache,
+			cacheStats: *cacheStats, noCache: *noCache, shard: *shardFlag, cache: cache,
 			coverage: *sweepCoverage, coverageMaxPatterns: *maxPatterns,
 			metrics: *withMetrics, progress: *progress,
 		}, os.Stdout, os.Stderr)
@@ -191,17 +215,20 @@ func main() {
 			maxPatterns: *maxPatterns, workers: *workers,
 			noCollapse: *noCollapse, undetected: *undetected,
 			format: *format, noTiming: *noTiming,
-			metrics: *withMetrics, progress: *progress,
+			metrics: *withMetrics, progress: *progress, cache: cache,
 		}, os.Stdout, os.Stderr)
 	default:
 		code = runReport(ctx, reportRun{
 			file: *file, circuit: *circuit,
 			lk: *lk, beta: *beta, seed: *seed,
 			verbose: *verbose, noRetime: *noRetime, minPeriod: *minPeriod,
-			emitPath: *emitPath, metrics: *withMetrics,
+			emitPath: *emitPath, metrics: *withMetrics, cache: cache,
 		}, os.Stdout, os.Stderr)
 	}
 	stop()
+	if cache != nil {
+		cache.Flush() // write-behind persists must land before exit
+	}
 	stopProfiles()
 	if rec != nil {
 		if err := rec.WriteTraceFile(*tracePath); err != nil {
@@ -260,6 +287,10 @@ type reportRun struct {
 	minPeriod     bool
 	emitPath      string
 	metrics       bool
+
+	// cache, when non-nil, is the two-tier cache backed by -cache-dir;
+	// main owns it and flushes pending disk writes after the mode returns.
+	cache *sweep.Cache
 }
 
 // runReport is the default single-compilation mode, adapted onto the
@@ -288,6 +319,7 @@ func runReport(ctx context.Context, rr reportRun, stdout, stderr io.Writer) int 
 		Output: &jobspec.Output{Metrics: rr.metrics},
 	}
 	rt := jobspec.Runtime{
+		Cache: rr.cache,
 		// -file opens exactly the named path, preserving the historical
 		// flag behavior (no .bench suffix heuristics).
 		Load: func(string) (*netlist.Circuit, error) { return loadCircuit(rr.file, rr.circuit) },

@@ -1,0 +1,83 @@
+package main
+
+// The `merced merge` subcommand: reassemble the shard documents of one
+// sharded sweep into the full report. The shards carry the render options
+// the unsharded run would have used, so the merged output is byte-identical
+// to a single-process `merced -sweep` under -no-timing.
+//
+//	merced -sweep -circuits all -shard 1/3 -no-timing > shard1.json   (×3)
+//	merced merge shard1.json shard2.json shard3.json
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+// runMerge reads the named shard documents, merges them, and renders the
+// reassembled report in the format the shards carry. Exit codes mirror
+// `merced -sweep`: 0 when every merged job succeeded, 1 on a merge or
+// render failure or any failed job (the report is still printed first).
+func runMerge(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("merced merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: merced merge shard1.json shard2.json ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "merced merge:", err)
+		return 1
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	shards := make([]*sweep.ShardReport, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		sr, err := readShardFile(path)
+		if err != nil {
+			return fail(err)
+		}
+		shards = append(shards, sr)
+	}
+	rep, out, err := sweep.MergeShards(shards)
+	if err != nil {
+		return fail(err)
+	}
+	opts := out.RenderOptions()
+	switch out.Format {
+	case "json":
+		err = rep.WriteJSON(stdout, opts)
+	case "csv":
+		err = rep.WriteCSV(stdout, opts)
+	default:
+		err = rep.WriteText(stdout, opts)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if ferr := rep.FirstErr(); ferr != nil {
+		return fail(ferr)
+	}
+	return 0
+}
+
+func readShardFile(path string) (*sweep.ShardReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sr, err := sweep.ReadShardReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sr, nil
+}

@@ -21,8 +21,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/sweep"
 )
 
 // runServe parses the subcommand's own flag set and runs the daemon until
@@ -36,6 +38,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "job-executing workers (0: NumCPU)")
 	queueDepth := fs.Int("queue-depth", serve.DefaultQueueDepth, "bounded job queue; a full queue answers 429 + Retry-After")
 	cacheSize := fs.Int("cache-size", 0, "process-lifetime artifact cache entries (0: default)")
+	cacheDir := fs.String("cache-dir", "", "persistent content-addressed artifact store backing the cache (survives restarts)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "how long a signal-triggered drain waits for in-flight jobs")
 	logLevel := fs.String("log-level", "off", "structured-log threshold on stderr (off, debug, info, warn, error)")
 	logFormat := fs.String("log-format", "text", "structured-log encoding (text, json)")
@@ -48,6 +51,20 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// -cache-dir backs the process-lifetime cache with a persistent store:
+	// a restarted daemon serves warm artifacts from disk instead of
+	// recomputing them.
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		st, err := cas.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "merced serve:", err)
+			return 1
+		}
+		cache = sweep.NewCacheWithStore(*cacheSize, st)
+		defer cache.Flush() // pending write-behind persists land before exit
+	}
+
 	// Jobs derive from their own root, NOT the signal context: a SIGTERM
 	// must drain in-flight work to completion, not cancel it.
 	base := obs.WithLogger(context.Background(), logger)
@@ -55,6 +72,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		CacheSize:   *cacheSize,
+		Cache:       cache,
 		BaseContext: base,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/jobspec"
+	"repro/internal/sweep"
 )
 
 // sweepRun bundles the flag values sweep mode consumes.
@@ -28,6 +29,11 @@ type sweepRun struct {
 	noTiming   bool   // deterministic output: omit wall-clock fields
 	cacheStats bool   // report per-stage artifact-cache counters
 	noCache    bool   // disable shared-prefix artifact reuse
+	shard      string // "i/N": run one slice of the matrix, emit a shard document
+
+	// cache, when non-nil, is the two-tier cache backed by -cache-dir;
+	// main owns it and flushes pending disk writes after the mode returns.
+	cache *sweep.Cache
 
 	// coverage runs a fault-coverage campaign per compiled job and adds a
 	// "coverage" block/column to the report; coverageMaxPatterns caps each
@@ -50,7 +56,7 @@ func runSweep(ctx context.Context, cfg sweepRun, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "merced:", err)
 		return 1
 	}
-	var rt jobspec.Runtime
+	rt := jobspec.Runtime{Cache: cfg.cache}
 	var prog *progressLine
 	if cfg.progress {
 		prog = newProgressLine(stderr, "jobs")
@@ -97,7 +103,9 @@ func sweepSpec(cfg sweepRun) (*jobspec.Spec, error) {
 		Timeout: jobspec.Duration(cfg.timeout),
 		Sweep:   &jobspec.Sweep{Circuits: circuits, LKs: lks, Betas: betas, Seeds: seeds},
 	}
-	applySweepFlags(s, cfg)
+	if err := applySweepFlags(s, cfg); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -121,7 +129,9 @@ func sweepSpecFile(cfg sweepRun) (*jobspec.Spec, error) {
 	if s.Sweep == nil {
 		s.Sweep = &jobspec.Sweep{}
 	}
-	applySweepFlags(s, cfg)
+	if err := applySweepFlags(s, cfg); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -130,10 +140,17 @@ func sweepSpecFile(cfg sweepRun) (*jobspec.Spec, error) {
 // survive unless the command line explicitly overrides them. (A Boolean
 // flag can therefore turn a spec setting on but not off, and `-format
 // text` cannot override a file's "json" — the limits of flag defaulting.)
-func applySweepFlags(s *jobspec.Spec, cfg sweepRun) {
+func applySweepFlags(s *jobspec.Spec, cfg sweepRun) error {
 	sw := s.Sweep
 	if cfg.workers != 0 {
 		sw.Workers = cfg.workers
+	}
+	if cfg.shard != "" {
+		sh, err := sweep.ParseShard(cfg.shard)
+		if err != nil {
+			return fmt.Errorf("-shard: %w", err)
+		}
+		sw.Shard = &jobspec.ShardSpec{Index: sh.Index, Count: sh.Count}
 	}
 	if cfg.timeout != 0 {
 		s.Timeout = jobspec.Duration(cfg.timeout)
@@ -171,6 +188,7 @@ func applySweepFlags(s *jobspec.Spec, cfg sweepRun) {
 	if cfg.metrics {
 		s.Output.Metrics = true
 	}
+	return nil
 }
 
 func splitList(s string) []string {

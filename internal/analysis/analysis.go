@@ -151,11 +151,14 @@ var kernelPackages = map[string]bool{
 }
 
 // entryPackages are the packages whose exported entry paths honor the
-// context-cancellation contract established in PR 2.
+// context-cancellation contract established in PR 2. cas is here for its
+// determinism contracts (detmap on the stats walks) even though its
+// entry points are filesystem-bound rather than context-carrying.
 var entryPackages = map[string]bool{
 	"core":    true,
 	"sweep":   true,
 	"fault":   true,
 	"jobspec": true,
 	"serve":   true,
+	"cas":     true,
 }

@@ -1,0 +1,244 @@
+package cas
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t)
+	key := "saturate(circuit:abc|b=1,seed=1)"
+	payload := []byte("the artifact bytes")
+	if err := s.Put("saturated", key, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("saturated", key, 3)
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v, want hit", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestGetMissAndSchemaMismatch(t *testing.T) {
+	s := openT(t)
+	if _, ok, err := s.Get("parsed", "absent", 1); ok || err != nil {
+		t.Fatalf("absent entry: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if err := s.Put("parsed", "k", 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// A different schema version is a clean miss, not corruption.
+	if _, ok, err := s.Get("parsed", "k", 2); ok || err != nil {
+		t.Fatalf("schema mismatch: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if st, err := s.Stats(); err != nil || st.Quarantined != 0 {
+		t.Fatalf("stats after schema miss: %+v err=%v, want no quarantine", st, err)
+	}
+	// Overwriting with the new schema replaces the entry.
+	if err := s.Put("parsed", "k", 2, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("parsed", "k", 2)
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("after overwrite: %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+// corruptEntry truncates the single entry file under stage.
+func corruptEntry(t *testing.T, s *Store, stage string) string {
+	t.Helper()
+	var path string
+	err := filepath.WalkDir(filepath.Join(s.Dir(), stage), func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			path = p
+		}
+		return err
+	})
+	if err != nil || path == "" {
+		t.Fatalf("no entry under %s: %v", stage, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptEntryQuarantined(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("analyzed", "k", 1, []byte("payload bytes here")); err != nil {
+		t.Fatal(err)
+	}
+	path := corruptEntry(t, s, "analyzed")
+	_, ok, err := s.Get("analyzed", "k", 1)
+	if ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("err = %v, want quarantine notice", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("corrupt entry still at %s", path)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 quarantined, 0 live", st)
+	}
+	// A second Get is a clean miss (the bad file is gone), and a Put heals.
+	if _, ok, err := s.Get("analyzed", "k", 1); ok || err != nil {
+		t.Fatalf("post-quarantine Get: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if err := s.Put("analyzed", "k", 1, []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get("analyzed", "k", 1); !ok || string(got) != "recomputed" {
+		t.Fatalf("healed entry: %q ok=%v", got, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := openT(t)
+	for _, e := range []struct {
+		stage, key, payload string
+	}{
+		{"parsed", "a", "aa"},
+		{"parsed", "b", "bbbb"},
+		{"saturated", "c", "cccccc"},
+	} {
+		if err := s.Put(e.stage, e.key, 1, []byte(e.payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 3 || len(st.Stages) != 2 {
+		t.Fatalf("stats = %+v, want 3 entries over 2 stages", st)
+	}
+	if st.Stages[0].Stage != "parsed" || st.Stages[0].Entries != 2 {
+		t.Fatalf("stage[0] = %+v, want parsed with 2 entries", st.Stages[0])
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "parsed") || !strings.Contains(buf.String(), "total") {
+		t.Fatalf("rendered stats missing sections:\n%s", buf.String())
+	}
+}
+
+func TestGC(t *testing.T) {
+	s := openT(t)
+	now := time.Now()
+	put := func(stage, key, payload string, age time.Duration) {
+		t.Helper()
+		if err := s.Put(stage, key, 1, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		old := now.Add(-age)
+		if err := os.Chtimes(s.entryPath(stage, key), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("saturated", "fresh", "fresh-bytes", time.Minute)
+	put("saturated", "stale", "stale-bytes", 48*time.Hour)
+	put("parsed", "corrupt-me", "some payload", time.Minute)
+	corruptEntry(t, s, "parsed")
+
+	rep, err := s.GC(GCOptions{MaxAge: 24 * time.Hour, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Expired != 1 || rep.Corrupt != 1 || rep.Kept != 1 {
+		t.Fatalf("gc report = %+v, want 1 expired, 1 corrupt, 1 kept", rep)
+	}
+	if _, ok, _ := s.Get("saturated", "fresh", 1); !ok {
+		t.Fatal("fresh entry did not survive GC")
+	}
+	if _, ok, _ := s.Get("saturated", "stale", 1); ok {
+		t.Fatal("stale entry survived GC")
+	}
+
+	// Size budget: evict oldest-first until under MaxBytes. A budget one
+	// byte below the current total must evict exactly the oldest entry.
+	put("saturated", "older", "0123456789", 2*time.Hour)
+	put("saturated", "newer", "0123456789", time.Hour)
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.GC(GCOptions{MaxBytes: st.Bytes - 1, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evicted != 1 {
+		t.Fatalf("gc report = %+v, want exactly 1 eviction", rep)
+	}
+	if _, ok, _ := s.Get("saturated", "older", 1); ok {
+		t.Fatal("oldest entry survived the size budget")
+	}
+	if _, ok, _ := s.Get("saturated", "newer", 1); !ok {
+		t.Fatal("newest entry evicted before older ones")
+	}
+	if _, ok, _ := s.Get("saturated", "fresh", 1); !ok {
+		t.Fatal("freshest entry evicted before older ones")
+	}
+
+	// Purge drains the quarantine.
+	rep, err = s.GC(GCOptions{PurgeQuarantine: true, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Purged != 1 {
+		t.Fatalf("gc report = %+v, want 1 purged", rep)
+	}
+	if st, _ := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("quarantine not empty after purge: %+v", st)
+	}
+}
+
+func TestPutIsAtomicOverwrite(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("parsed", "k", 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("parsed", "k", 1, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("parsed", "k", 1)
+	if err != nil || !ok || string(got) != "two" {
+		t.Fatalf("after overwrite: %q ok=%v err=%v", got, ok, err)
+	}
+	// No stray temp files left in the root.
+	ents, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".put-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -164,6 +164,22 @@ func FromCircuit(c *netlist.Circuit) (*G, error) {
 	return g, nil
 }
 
+// Assemble reconstructs a graph from its serialized Nodes and Nets (a
+// decoded cache entry): the name index and incidence lists are derived
+// state, rebuilt here exactly as FromCircuit builds them. PO pseudo-nodes
+// are not registered in the name index, matching FromCircuit. The slices
+// are retained, not copied; the caller must not mutate them afterwards.
+func Assemble(nodes []Node, nets []Net) *G {
+	g := &G{Nodes: nodes, Nets: nets, byName: make(map[string]int, len(nodes))}
+	for _, n := range nodes {
+		if n.Kind != KindPO {
+			g.byName[n.Name] = n.ID
+		}
+	}
+	g.buildIncidence()
+	return g
+}
+
 func (g *G) buildIncidence() {
 	g.Out = make([][]int, len(g.Nodes))
 	g.In = make([][]int, len(g.Nodes))

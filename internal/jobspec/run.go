@@ -113,6 +113,13 @@ func runSweep(ctx context.Context, s *Spec, w io.Writer, rt Runtime, cache *swee
 	if err != nil {
 		return err
 	}
+	universe := jobs
+	var shard sweep.Shard
+	var globals []int
+	if sw.Shard != nil {
+		shard = sweep.Shard{Index: sw.Shard.Index, Count: sw.Shard.Count}
+		jobs, globals = shard.Select(universe)
+	}
 	cfg := sweep.Config{
 		Workers:             sw.Workers,
 		JobTimeout:          time.Duration(sw.JobTimeout),
@@ -128,6 +135,31 @@ func runSweep(ctx context.Context, s *Spec, w io.Writer, rt Runtime, cache *swee
 	rep, err := sweep.Run(ctx, jobs, cfg)
 	if err != nil {
 		return err
+	}
+	if sw.Shard != nil {
+		// A shard's output is always its self-describing JSON document —
+		// the requested format travels inside it and `merced merge`
+		// renders the reassembled report with it.
+		sr := sweep.BuildShardReport(shard, universe, globals, rep,
+			sweep.ShardConfig{
+				NoRetimeSolver: sw.NoRetimeSolver,
+				Lint:           sw.Lint,
+				Coverage:       sw.Coverage,
+				MaxPatterns:    sw.MaxPatterns,
+			},
+			sweep.ShardOutput{
+				Format:     s.Output.Format,
+				NoTiming:   s.Output.NoTiming,
+				CacheStats: s.Output.CacheStats,
+				Metrics:    s.Output.Metrics,
+			})
+		if err := sr.WriteJSON(w); err != nil {
+			return err
+		}
+		if rep.Stats.Failed > 0 {
+			return rep.FirstErr()
+		}
+		return nil
 	}
 	opts := sweep.RenderOptions{Timing: !s.Output.NoTiming, CacheStats: s.Output.CacheStats, Metrics: s.Output.Metrics}
 	switch s.Output.Format {

@@ -45,8 +45,14 @@ type Config struct {
 	// A full queue rejects submissions with 429 + Retry-After.
 	QueueDepth int
 	// CacheSize bounds the process-lifetime artifact cache in entries;
-	// <= 0 means sweep.DefaultCacheEntries.
+	// <= 0 means sweep.DefaultCacheEntries. Ignored when Cache is set.
 	CacheSize int
+	// Cache, when non-nil, is an externally constructed artifact cache the
+	// server adopts instead of building its own — the CLI passes a two-tier
+	// cache here under `merced serve -cache-dir`, so artifacts survive
+	// server restarts. The owner is responsible for calling Flush after
+	// the server drains.
+	Cache *sweep.Cache
 	// BaseContext is the root every job context derives from; nil means
 	// context.Background(). Cancelling it aborts all jobs — the CLI keeps
 	// it independent of the SIGTERM handler so shutdown drains instead of
@@ -188,11 +194,15 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = sweep.NewCache(cfg.CacheSize)
+	}
 	s := &Server{
 		cfg:      cfg,
 		base:     base,
 		maxBody:  maxBody,
-		cache:    sweep.NewCache(cfg.CacheSize),
+		cache:    cache,
 		run:      jobspec.Run,
 		jobs:     make(map[string]*job),
 		queue:    make(chan *job, depth),
@@ -361,6 +371,7 @@ func (s *Server) Metrics() *obs.Metrics {
 		{"saturated", cs.Saturated},
 	} {
 		m.Add("cache."+sc.name+".hits", sc.st.Hits)
+		m.Add("cache."+sc.name+".disk_hits", sc.st.DiskHits)
 		m.Add("cache."+sc.name+".misses", sc.st.Misses)
 		m.Add("cache."+sc.name+".evictions", sc.st.Evictions)
 	}

@@ -23,10 +23,21 @@ package sweep
 // Cache.Compile). Cumulative counters are read with Stats; each run
 // additionally tracks its own hit/miss/eviction deltas so Report.Cache
 // describes only that run's traffic.
+//
+// With NewCacheWithStore the cache becomes two-tier: the memory LRU reads
+// through to a persistent ArtifactStore (internal/cas) and writes behind to
+// it, so artifacts survive process restarts and are shared between
+// concurrent processes (shards of one sweep, a serve daemon next to CLI
+// runs). The singleflight guarantee spans both tiers — concurrent
+// requesters of one key share a single disk read or compute. Errors are
+// never persisted, exactly as they are never memory-cached; a corrupt or
+// unreadable disk entry counts as a disk error and falls through to
+// compute, so the disk tier can degrade but never poison a result.
 
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -44,12 +55,18 @@ const (
 	stageSaturated
 )
 
-// StageStats counts cache outcomes for one pipeline stage. A "hit" is a
-// lookup that found an entry (including one still being computed by another
-// job — the requester shares the result without redoing the work); a "miss"
-// is a lookup that had to compute.
+// stageName maps a cacheStage to its ArtifactStore stage directory.
+var stageName = [3]string{"parsed", "analyzed", "saturated"}
+
+// StageStats counts cache outcomes for one pipeline stage, split by tier.
+// Hits is the memory tier: a lookup that found an in-memory entry
+// (including one still being computed or disk-read by another job — the
+// requester shares the result without redoing the work). DiskHits is a
+// lookup served by decoding a persistent store entry. Misses is a lookup
+// that had to compute the stage. A failed compute counts as a miss.
 type StageStats struct {
-	Hits      int64 `json:"hits"`
+	Hits      int64 `json:"memory_hits"`
+	DiskHits  int64 `json:"disk_hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 }
@@ -64,6 +81,11 @@ type CacheStats struct {
 	// Entries and Capacity describe the cache's current occupancy and bound.
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
+	// DiskErrors counts persistent-tier failures the cache absorbed —
+	// quarantined corrupt entries, undecodable payloads, failed
+	// write-behinds. Always the cache's cumulative total (not a run delta):
+	// a disk problem is a store health signal, not a property of one run.
+	DiskErrors int64 `json:"disk_errors,omitempty"`
 }
 
 // DefaultCacheEntries bounds the artifact cache when the capacity is unset:
@@ -80,6 +102,55 @@ type cacheEntry struct {
 	lastUse int64
 }
 
+// ArtifactStore is the persistent tier under the memory LRU: a durable
+// byte store addressed by (stage, logical key, schema version).
+// internal/cas.Store implements it. Get returns ok=false with a nil error
+// on a clean miss (no entry, or an entry written under a different schema
+// version); an error means the entry existed but could not be trusted —
+// the cache counts it and recomputes. Implementations must be safe for
+// concurrent use.
+type ArtifactStore interface {
+	Get(stage, key string, schema int) (payload []byte, ok bool, err error)
+	Put(stage, key string, schema int, payload []byte) error
+}
+
+// stageCodec translates one stage's in-memory artifact to and from its
+// persistent payload. Codecs for the analyzed and saturated stages close
+// over the upstream artifact the decoder attaches to.
+type stageCodec struct {
+	schema int
+	encode func(any) ([]byte, error)
+	decode func([]byte) (any, error)
+}
+
+// parsedCodec persists core.Parsed artifacts. Note the parsed stage is
+// keyed by circuit reference ("parsed:<name>"), not content — editing a
+// .bench file under a warm cache directory serves the old parse until the
+// entry is evicted or the directory cleared (documented in DESIGN.md §14).
+var parsedCodec = &stageCodec{
+	schema: core.ParsedSchemaVersion,
+	encode: func(v any) ([]byte, error) { return v.(*core.Parsed).Encode() },
+	decode: func(b []byte) (any, error) { return core.DecodeParsed(b) },
+}
+
+// analyzedCodec persists core.Analyzed artifacts built from p.
+func analyzedCodec(p *core.Parsed) *stageCodec {
+	return &stageCodec{
+		schema: core.AnalyzedSchemaVersion,
+		encode: func(v any) ([]byte, error) { return v.(*core.Analyzed).Encode() },
+		decode: func(b []byte) (any, error) { return core.DecodeAnalyzed(p, b) },
+	}
+}
+
+// saturatedCodec persists core.Saturated artifacts built from a.
+func saturatedCodec(a *core.Analyzed) *stageCodec {
+	return &stageCodec{
+		schema: core.SaturatedSchemaVersion,
+		encode: func(v any) ([]byte, error) { return v.(*core.Saturated).Encode() },
+		decode: func(b []byte) (any, error) { return core.DecodeSaturated(a, b) },
+	}
+}
+
 // Cache is the bounded singleflight artifact store. The zero value is not
 // usable; call NewCache. A Cache outlives any single run: the serve daemon
 // keeps one for the whole process so repeat circuits hit the Saturated
@@ -90,9 +161,16 @@ type Cache struct {
 	gen     int64
 	entries map[string]*cacheEntry
 	stats   [3]StageStats
+
+	// store is the optional persistent tier; nil means memory-only.
+	store ArtifactStore
+	// writes tracks in-flight write-behind goroutines; Flush waits on it.
+	writes sync.WaitGroup
+	// diskErrors counts store failures (cumulative; see CacheStats).
+	diskErrors atomic.Int64
 }
 
-// NewCache returns an empty cache bounded to capacity entries
+// NewCache returns an empty memory-only cache bounded to capacity entries
 // (DefaultCacheEntries when capacity <= 0).
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
@@ -100,6 +178,20 @@ func NewCache(capacity int) *Cache {
 	}
 	return &Cache{cap: capacity, entries: make(map[string]*cacheEntry)}
 }
+
+// NewCacheWithStore returns a two-tier cache: the memory LRU reads through
+// to store and writes freshly computed artifacts behind to it. A nil store
+// is equivalent to NewCache.
+func NewCacheWithStore(capacity int, store ArtifactStore) *Cache {
+	c := NewCache(capacity)
+	c.store = store
+	return c
+}
+
+// Flush waits for every pending write-behind to land in the persistent
+// store. Call it before process exit (and before inspecting the store);
+// artifacts are only guaranteed durable after Flush returns.
+func (c *Cache) Flush() { c.writes.Wait() }
 
 // newArtifactCache is the historical constructor name, kept for the
 // package's own call sites and tests.
@@ -118,6 +210,15 @@ func (c *Cache) getOrCompute(st cacheStage, key string, fn func() (any, error)) 
 // per is written only under the cache mutex, so one tracker may be shared
 // by every worker of a run.
 func (c *Cache) getOrComputeTracked(st cacheStage, key string, per *[3]StageStats, fn func() (any, error)) (val any, computed bool, err error) {
+	return c.getOrComputeStored(st, key, per, nil, fn)
+}
+
+// getOrComputeStored is the full two-tier lookup: memory, then (when both a
+// store and a codec are present) the persistent tier, then fn. The entry is
+// inserted before either slow path runs, so the singleflight guarantee
+// spans disk reads and computes alike. computed reports whether fn ran —
+// a disk hit is not a compute, so phase timings are never attributed to it.
+func (c *Cache) getOrComputeStored(st cacheStage, key string, per *[3]StageStats, codec *stageCodec, fn func() (any, error)) (val any, computed bool, err error) {
 	c.mu.Lock()
 	c.gen++
 	if e, ok := c.entries[key]; ok {
@@ -132,16 +233,41 @@ func (c *Cache) getOrComputeTracked(st cacheStage, key string, per *[3]StageStat
 	}
 	e := &cacheEntry{ready: make(chan struct{}), stage: st, lastUse: c.gen}
 	c.entries[key] = e
-	c.stats[st].Misses++
-	if per != nil {
-		per[st].Misses++
-	}
 	c.mu.Unlock()
 
-	e.val, e.err = fn()
+	// Persistent tier: a decodable entry fills the memory tier without
+	// computing. Any store or decode failure counts and falls through — the
+	// disk tier may degrade but never fails a lookup.
+	fromDisk := false
+	if c.store != nil && codec != nil {
+		if payload, ok, derr := c.store.Get(stageName[st], key, codec.schema); derr != nil {
+			c.diskErrors.Add(1)
+		} else if ok {
+			if v, decErr := codec.decode(payload); decErr == nil {
+				e.val = v
+				fromDisk = true
+			} else {
+				c.diskErrors.Add(1)
+			}
+		}
+	}
+	if !fromDisk {
+		e.val, e.err = fn()
+	}
 	close(e.ready)
 
 	c.mu.Lock()
+	if fromDisk {
+		c.stats[st].DiskHits++
+		if per != nil {
+			per[st].DiskHits++
+		}
+	} else {
+		c.stats[st].Misses++
+		if per != nil {
+			per[st].Misses++
+		}
+	}
 	if e.err != nil {
 		// Never cache failures: a context-cancelled computation must not
 		// decide the fate of jobs that arrive with a live context.
@@ -152,7 +278,25 @@ func (c *Cache) getOrComputeTracked(st cacheStage, key string, per *[3]StageStat
 		c.evictLocked(per)
 	}
 	c.mu.Unlock()
-	return e.val, true, e.err
+
+	// Write-behind: persist a fresh compute without holding up the job.
+	// Errors are never written, and a failed write only counts — the next
+	// cold process recomputes.
+	if !fromDisk && e.err == nil && c.store != nil && codec != nil {
+		c.writes.Add(1)
+		go func() {
+			defer c.writes.Done()
+			payload, encErr := codec.encode(e.val)
+			if encErr != nil {
+				c.diskErrors.Add(1)
+				return
+			}
+			if putErr := c.store.Put(stageName[st], key, codec.schema, payload); putErr != nil {
+				c.diskErrors.Add(1)
+			}
+		}()
+	}
+	return e.val, !fromDisk, e.err
 }
 
 // evictLocked drops least-recently-used ready entries until the bound
@@ -190,11 +334,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Parsed:    c.stats[stageParsed],
-		Analyzed:  c.stats[stageAnalyzed],
-		Saturated: c.stats[stageSaturated],
-		Entries:   len(c.entries),
-		Capacity:  c.cap,
+		Parsed:     c.stats[stageParsed],
+		Analyzed:   c.stats[stageAnalyzed],
+		Saturated:  c.stats[stageSaturated],
+		Entries:    len(c.entries),
+		Capacity:   c.cap,
+		DiskErrors: c.diskErrors.Load(),
 	}
 }
 
@@ -205,11 +350,12 @@ func (c *Cache) statsFor(per *[3]StageStats) CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Parsed:    per[stageParsed],
-		Analyzed:  per[stageAnalyzed],
-		Saturated: per[stageSaturated],
-		Entries:   len(c.entries),
-		Capacity:  c.cap,
+		Parsed:     per[stageParsed],
+		Analyzed:   per[stageAnalyzed],
+		Saturated:  per[stageSaturated],
+		Entries:    len(c.entries),
+		Capacity:   c.cap,
+		DiskErrors: c.diskErrors.Load(),
 	}
 }
 
@@ -233,7 +379,7 @@ func (c *Cache) Compile(ctx context.Context, name string, load func(string) (*ne
 		return nil, err
 	}
 	start := time.Now()
-	pv, _, err := cacheStagedArtifact(ctx, c, stageParsed, "parsed:"+name, nil, func() (any, error) {
+	pv, _, err := cacheStagedArtifact(ctx, c, stageParsed, "parsed:"+name, nil, parsedCodec, func() (any, error) {
 		sp := obs.Start(ctx, "stage", "parse "+name)
 		defer sp.End()
 		cir, err := load(name)

@@ -29,6 +29,7 @@ func (r *Report) Metrics() *obs.Metrics {
 	}
 	addCacheStage := func(prefix string, s StageStats) {
 		m.Add(prefix+".hits", s.Hits)
+		m.Add(prefix+".disk_hits", s.DiskHits)
 		m.Add(prefix+".misses", s.Misses)
 		m.Add(prefix+".evictions", s.Evictions)
 	}

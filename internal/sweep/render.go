@@ -83,7 +83,7 @@ type statsJSON struct {
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func stageStatsString(s StageStats) string {
-	return fmt.Sprintf("%dh/%dm/%de", s.Hits, s.Misses, s.Evictions)
+	return fmt.Sprintf("%dh/%dd/%dm/%de", s.Hits, s.DiskHits, s.Misses, s.Evictions)
 }
 
 // WriteJSON renders the report as indented JSON: a "jobs" array in input

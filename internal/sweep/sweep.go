@@ -272,7 +272,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	per := new([3]StageStats)
 	masters := make(map[string]*core.Parsed, len(jobs))
 	for i, j := range jobs {
-		v, _, err := cache.getOrComputeTracked(stageParsed, "parsed:"+j.Circuit, per, func() (any, error) {
+		v, _, err := cache.getOrComputeStored(stageParsed, "parsed:"+j.Circuit, per, parsedCodec, func() (any, error) {
 			sp := obs.Start(ctx, "stage", "parse "+j.Circuit)
 			defer sp.End()
 			c, err := load(j.Circuit)
@@ -413,7 +413,7 @@ func runJob(ctx context.Context, j Job, master *core.Parsed, cache *Cache, per *
 // timings are attributed only to the job that actually computed the stage,
 // so aggregated phase totals measure real work, not double-counted reuse.
 func compileStaged(ctx context.Context, p *core.Parsed, cache *Cache, per *[3]StageStats, opt core.Options) (*core.Result, error) {
-	av, computedA, err := cacheStagedArtifact(ctx, cache, stageAnalyzed, p.AnalyzeKey(), per, func() (any, error) {
+	av, computedA, err := cacheStagedArtifact(ctx, cache, stageAnalyzed, p.AnalyzeKey(), per, analyzedCodec(p), func() (any, error) {
 		return core.Analyze(ctx, p)
 	})
 	if err != nil {
@@ -422,7 +422,7 @@ func compileStaged(ctx context.Context, p *core.Parsed, cache *Cache, per *[3]St
 	a := av.(*core.Analyzed)
 
 	fcfg := opt.FlowConfig()
-	sv, computedS, err := cacheStagedArtifact(ctx, cache, stageSaturated, a.SaturateKey(fcfg), per, func() (any, error) {
+	sv, computedS, err := cacheStagedArtifact(ctx, cache, stageSaturated, a.SaturateKey(fcfg), per, saturatedCodec(a), func() (any, error) {
 		return core.SaturateNetwork(ctx, a, fcfg)
 	})
 	if err != nil {
@@ -446,9 +446,9 @@ func compileStaged(ctx context.Context, p *core.Parsed, cache *Cache, per *[3]St
 // when a *shared* computation fails with another job's cancellation while
 // this job's own context is still live, request again (the failed entry was
 // dropped, so the retry recomputes under this job's context).
-func cacheStagedArtifact(ctx context.Context, cache *Cache, st cacheStage, key string, per *[3]StageStats, fn func() (any, error)) (any, bool, error) {
+func cacheStagedArtifact(ctx context.Context, cache *Cache, st cacheStage, key string, per *[3]StageStats, codec *stageCodec, fn func() (any, error)) (any, bool, error) {
 	for {
-		v, computed, err := cache.getOrComputeTracked(st, key, per, fn)
+		v, computed, err := cache.getOrComputeStored(st, key, per, codec, fn)
 		if err == nil || computed || ctx.Err() != nil ||
 			!(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return v, computed, err
