@@ -136,6 +136,7 @@ func main() {
 	sweepCoverage := flag.Bool("coverage", false, "with -sweep: fault-simulate each job's partition and report coverage")
 	doCover := flag.Bool("cover", false, "run the parallel fault-coverage campaign instead of a single report")
 	maxPatterns := flag.Uint64("max-patterns", 0, "with -cover/-sweep -coverage: per-fault pattern cap (0: full pseudo-exhaustive budget)")
+	lanesFlag := flag.String("lanes", "", "with -cover/-sweep -coverage: fault-batch vector width in 64-bit words (1, 2, 4, or 8; comma list sweeps the axis under -sweep; empty: engine default)")
 	noCollapse := flag.Bool("no-collapse", false, "with -cover: disable structural fault-equivalence collapsing")
 	undetected := flag.Bool("undetected", false, "with -cover: list surviving faults in the text report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -199,7 +200,7 @@ func main() {
 			workers: *workers, timeout: *timeout, jobTimeout: *jobTimeout,
 			noRetime: *noRetime, lint: *doLint, format: *format, noTiming: *noTiming,
 			cacheStats: *cacheStats, noCache: *noCache, shard: *shardFlag, cache: cache,
-			coverage: *sweepCoverage, coverageMaxPatterns: *maxPatterns,
+			coverage: *sweepCoverage, coverageMaxPatterns: *maxPatterns, lanes: *lanesFlag,
 			metrics: *withMetrics, progress: *progress,
 		}, os.Stdout, os.Stderr)
 	case *doLint:
@@ -212,7 +213,7 @@ func main() {
 		code = runCover(ctx, coverRun{
 			file: *file, circuit: *circuit,
 			lk: *lk, beta: *beta, seed: *seed, noRetime: *noRetime,
-			maxPatterns: *maxPatterns, workers: *workers,
+			maxPatterns: *maxPatterns, workers: *workers, lanes: *lanesFlag,
 			noCollapse: *noCollapse, undetected: *undetected,
 			format: *format, noTiming: *noTiming,
 			metrics: *withMetrics, progress: *progress, cache: cache,

@@ -2,11 +2,12 @@ package fault
 
 // Campaign is the parallel fault-coverage engine: the full single-stuck-at
 // campaign of a partitioned circuit — every cluster, every (optionally
-// collapsed) fault, packed 63 lanes per batch — fanned over a bounded
-// worker pool. The paper's headline claim is that each segment with
-// <= l_k inputs is tested exhaustively and all segments concurrently;
-// this engine is how the repo verifies that claim on whole benchmarks
-// instead of one cluster at a time.
+// collapsed) fault, packed sim.BatchLanes(LaneWords) lanes per wide batch
+// (255 at the default width) — fanned over a bounded worker pool. The
+// paper's headline claim is that each segment with <= l_k inputs is tested
+// exhaustively and all segments concurrently; this engine is how the repo
+// verifies that claim on whole benchmarks instead of one cluster at a
+// time.
 //
 // The engine drops faults in two tiers:
 //
@@ -21,9 +22,15 @@ package fault
 //     the whole campaign exits early.
 //
 // Determinism contract: batch composition follows the List order, every
-// batch derives its LFSR seeds from (Options.Seed, stage, job index) alone,
-// and results aggregate in job order. Reports are therefore byte-identical
-// for any Workers value, which the race-enabled tests and CI pin.
+// batch derives its LFSR seeds from (Options.Seed, stage, segment) alone —
+// all batches of one segment and stage replay the same session seed
+// sequence — and results aggregate in job order. Since lanes are
+// independent in the sim kernel and batch-level session cutoff is only
+// taken on sets that fit one word-wide batch at every width, a fault's
+// verdict does not depend on which batch it was packed into. Reports are
+// therefore byte-identical for any Workers value AND any LaneWords value,
+// which the race-enabled tests and CI pin. Batch counts are the one
+// width-dependent quantity, so renders gate them behind Timing.
 
 import (
 	"context"
@@ -68,6 +75,11 @@ type CampaignOptions struct {
 	// DefaultTriagePatterns. Budgets at or below the triage budget skip
 	// the escalation stage entirely.
 	TriagePatterns uint64
+	// LaneWords is the batch vector width in 64-bit words (1, 2, 4, or 8;
+	// 0 means DefaultLaneWords), exactly as Options.LaneWords. Per-fault
+	// verdicts — and so the rendered report — are identical at every
+	// width; only batch counts and throughput change.
+	LaneWords int
 	// Progress, when non-nil, is called after every finished batch with
 	// the cumulative batch count and the total known so far (the total
 	// grows once when the escalation stage is packed). Called concurrently
@@ -102,7 +114,9 @@ type CampaignReport struct {
 	Detected  int
 	Simulated int
 	// Batches counts simulated batches across both stages; TriageBatches
-	// of them were triage, the rest escalation.
+	// of them were triage, the rest escalation. Both depend on LaneWords
+	// (wider batches → fewer of them), so deterministic renders gate them
+	// behind the Timing option.
 	Batches       int
 	TriageBatches int
 	// TriageDetected counts the representatives already detected when the
@@ -112,7 +126,10 @@ type CampaignReport struct {
 	TriageDetected int
 	Survivors      int
 	Workers        int
-	Elapsed        time.Duration
+	// LaneWords is the effective batch vector width (configuration, like
+	// Workers, so not listed as a counter).
+	LaneWords int
+	Elapsed   time.Duration
 }
 
 // Ratio returns the aggregate detected/total (1.0 when empty).
@@ -135,14 +152,23 @@ type campaignSegment struct {
 }
 
 // batchJob is one pool work unit: a slice of representatives of one
-// segment at one budget. seq is the deterministic seed-stream index;
-// sessions caps the re-seeded session count (0 = segment default).
+// segment at one budget. seq is the deterministic global batch index
+// (trace labels, error messages); seedSeq keys the session seed stream to
+// (stage, segment) so every batch of that pair replays the same seeds
+// regardless of packing width; sessions caps the re-seeded session count
+// (0 = segment default); words is the batch's vector width (the final
+// partial batch re-fits to the narrowest width that holds it); sole marks
+// the only batch of its (stage, segment) fault set at every width, which
+// is when batch-level session cutoff is width-invariant and allowed.
 type batchJob struct {
 	seg      int
 	reps     []int // indices into campaignSegment.reps
 	budget   uint64
 	seq      uint64
+	seedSeq  uint64
 	sessions int
+	words    int
+	sole     bool
 }
 
 // Campaign fault-simulates every cluster of the partition r of circuit c.
@@ -160,6 +186,10 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	words, err := laneWords(opt.LaneWords)
+	if err != nil {
+		return nil, err
 	}
 	triage := opt.TriagePatterns
 	if triage == 0 {
@@ -219,6 +249,31 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 	}
 	var jobs []batchJob
 	var seq uint64
+	lanes := sim.BatchLanes(words)
+	// packSegment slices one segment-stage rep set into wide batches. All
+	// batches share the (stage, segment)-keyed seed stream; the final
+	// partial batch re-fits to the narrowest width that holds it (pure
+	// throughput — verdicts are width-invariant either way); session
+	// cutoff is only enabled when the whole set is one batch at every
+	// width (<= sim.LanesPerWord reps).
+	packSegment := func(si int, reps []int, budget uint64, sessions int, stage uint64) {
+		sole := len(reps) <= sim.LanesPerWord
+		seedSeq := stage<<32 | uint64(si)
+		//ctxlint:nocancel pure in-memory slicing of a rep list into batches; nanoseconds per iteration
+		for lo := 0; lo < len(reps); lo += lanes {
+			hi := lo + lanes
+			if hi > len(reps) {
+				hi = len(reps)
+			}
+			w := words
+			if n := hi - lo; n < lanes {
+				w = sim.FitLaneWords(n, words)
+			}
+			jobs = append(jobs, batchJob{seg: si, reps: reps[lo:hi], budget: budget,
+				seq: seq, seedSeq: seedSeq, sessions: sessions, words: w, sole: sole})
+			seq++
+		}
+	}
 	//ctxlint:nocancel pure in-memory job packing over prebuilt segments; microseconds per iteration
 	for si, cs := range segs {
 		b := cs.budget
@@ -227,16 +282,9 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 			b = triage
 			sess = 1
 		}
-		for lo := 0; lo < len(cs.reps); lo += 63 {
-			hi := lo + 63
-			if hi > len(cs.reps) {
-				hi = len(cs.reps)
-			}
-			jobs = append(jobs, batchJob{seg: si, reps: allIdx[lo:hi], budget: b, seq: seq, sessions: sess})
-			seq++
-		}
+		packSegment(si, allIdx[:len(cs.reps)], b, sess, 0)
 	}
-	rep := &CampaignReport{Workers: workers}
+	rep := &CampaignReport{Workers: workers, LaneWords: words}
 	rep.TriageBatches = len(jobs)
 	// Progress totals: the triage stage total is known now; the escalation
 	// total is appended once its jobs are packed. done is cumulative across
@@ -248,7 +296,7 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 		}
 		return func() { opt.Progress(int(batchesDone.Add(1)), total) }
 	}
-	if err := runBatchPool(ctx, segs, jobs, workers, opt, tick(len(jobs))); err != nil {
+	if err := runBatchPool(ctx, segs, jobs, workers, lanes, opt, tick(len(jobs))); err != nil {
 		return nil, err
 	}
 	rep.Batches = len(jobs)
@@ -277,17 +325,10 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 			}
 		}
 		rep.Survivors += len(survivors)
-		for lo := 0; lo < len(survivors); lo += 63 {
-			hi := lo + 63
-			if hi > len(survivors) {
-				hi = len(survivors)
-			}
-			jobs = append(jobs, batchJob{seg: si, reps: survivors[lo:hi], budget: cs.budget, seq: seq})
-			seq++
-		}
+		packSegment(si, survivors, cs.budget, 0, 1)
 	}
 	if len(jobs) > 0 {
-		if err := runBatchPool(ctx, segs, jobs, workers, opt, tick(rep.TriageBatches+len(jobs))); err != nil {
+		if err := runBatchPool(ctx, segs, jobs, workers, lanes, opt, tick(rep.TriageBatches+len(jobs))); err != nil {
 			return nil, err
 		}
 		rep.Batches += len(jobs)
@@ -333,12 +374,13 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 
 // runBatchPool executes the jobs across the worker pool, marking detected
 // representatives in each segment's det slice. Batch outcomes depend only
-// on the job itself (segment, rep set, budget, seq), so det is identical
-// for any worker count; distinct jobs never share det entries, making the
-// concurrent writes race-free. The returned error is the first failing
-// job's error in job order. tick, when non-nil, is called once per
-// finished (or skipped-by-cancellation) batch.
-func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob, workers int, opt CampaignOptions, tick func()) error {
+// on the job itself (segment, rep set, budget, seed stream), so det is
+// identical for any worker count; distinct jobs never share det entries,
+// making the concurrent writes race-free. The returned error is the first
+// failing job's error in job order. lanes is the configured per-batch lane
+// capacity (buffer sizing; individual jobs may run narrower). tick, when
+// non-nil, is called once per finished (or skipped-by-cancellation) batch.
+func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob, workers, lanes int, opt CampaignOptions, tick func()) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -362,7 +404,7 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 			}
 			traced := obs.Enabled(wctx)
 			log := obs.L(wctx)
-			var batchBuf [63]sim.Fault // per-worker batch assembly buffer
+			batchBuf := make([]sim.Fault, 0, lanes) // per-worker batch assembly buffer
 			// One env slot per worker: a segment's jobs are contiguous, so
 			// the slot rarely turns over, and each worker keeps at most one
 			// segment's scratch live. (A per-segment env map pins
@@ -396,15 +438,25 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 				for _, ri := range j.reps {
 					batch = append(batch, cs.reps[ri])
 				}
+				eng, err := env.engine(j.words)
+				if err != nil {
+					errs[i] = fmt.Errorf("fault: cluster %d batch %d: %w", cs.cluster.ID, j.seq, err)
+					if tick != nil {
+						tick()
+					}
+					continue
+				}
 				var sp obs.Span
 				if traced {
 					sp = obs.Start(wctx, "campaign", fmt.Sprintf("batch c%d b%d", cs.cluster.ID, j.seq))
 				}
 				// Session seeds come from a splitmix64 stream keyed by
-				// (campaign seed, job sequence): deterministic, decorrelated,
-				// and far cheaper than seeding a math/rand source per job.
-				sm := splitmix64(mixSeed(opt.Seed, j.seq))
-				detected, err := env.runBatch(ctx, batch, j.budget, opt.WarmUp, j.sessions, sm.next)
+				// (campaign seed, stage, segment): deterministic,
+				// decorrelated, identical for every batch of the pair — the
+				// keystone of lane-width invariance — and far cheaper than
+				// seeding a math/rand source per job.
+				sm := splitmix64(mixSeed(opt.Seed, j.seedSeq))
+				err = env.runBatch(ctx, batch, j.budget, opt.WarmUp, j.sessions, sm.next, j.sole)
 				sp.End()
 				if err != nil {
 					errs[i] = fmt.Errorf("fault: cluster %d batch %d: %w", cs.cluster.ID, j.seq, err)
@@ -415,7 +467,7 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 					continue
 				}
 				for k, ri := range j.reps {
-					if detected&(1<<uint(k+1)) != 0 {
+					if eng.Detected(k + 1) {
 						cs.det[ri] = true
 					}
 				}
@@ -438,9 +490,9 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 	return nil
 }
 
-// mixSeed derives a batch-local seed from the campaign seed and the
-// deterministic job sequence number (splitmix64 finalizer), so batches are
-// decorrelated yet independent of scheduling.
+// mixSeed derives a seed-stream origin from the campaign seed and the
+// deterministic (stage, segment) stream key (splitmix64 finalizer), so
+// streams are decorrelated yet independent of scheduling and packing.
 func mixSeed(seed int64, seq uint64) uint64 {
 	z := uint64(seed) + 0x9e3779b97f4a7c15*(seq+1)
 	z ^= z >> 30
@@ -451,7 +503,8 @@ func mixSeed(seed int64, seq uint64) uint64 {
 	return z
 }
 
-// splitmix64 is the per-job session-seed stream: the standard splitmix64
+// splitmix64 is the per-(stage, segment) session-seed stream: the standard
+// splitmix64
 // generator, good enough for LFSR seed choice and three orders of
 // magnitude cheaper to construct than a math/rand source.
 type splitmix64 uint64

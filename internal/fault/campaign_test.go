@@ -48,33 +48,36 @@ func renderAll(t testing.TB, rep *CampaignReport) []byte {
 
 // TestCampaignDeterministicAcrossWorkers is the determinism contract: for
 // fixed options the rendered report (Timing off) is byte-identical across
-// runs and across every worker count. Run under -race this also exercises
-// the shared-Segment concurrency claims.
+// runs, across every worker count, AND across every lane width. Run under
+// -race this also exercises the shared-Segment concurrency claims.
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	c, p := compilePartition(t, "s510", 8)
 	opt := CampaignOptions{Seed: 7, Collapse: true, TriagePatterns: 64}
 	var want []byte
 	for _, workers := range []int{1, 2, 8} {
-		opt.Workers = workers
-		rep, err := Campaign(context.Background(), c, p, opt)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		got := renderAll(t, rep)
-		if want == nil {
-			want = got
-			// Same worker count, second run: run-to-run determinism.
-			rep2, err := Campaign(context.Background(), c, p, opt)
+		for _, lanes := range []int{1, 2, 4} {
+			opt.Workers = workers
+			opt.LaneWords = lanes
+			rep, err := Campaign(context.Background(), c, p, opt)
 			if err != nil {
-				t.Fatal(err)
+				t.Fatalf("workers=%d lanes=%d: %v", workers, lanes, err)
 			}
-			if !bytes.Equal(renderAll(t, rep2), want) {
-				t.Fatal("report differs between identical runs")
+			got := renderAll(t, rep)
+			if want == nil {
+				want = got
+				// Same options, second run: run-to-run determinism.
+				rep2, err := Campaign(context.Background(), c, p, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(renderAll(t, rep2), want) {
+					t.Fatal("report differs between identical runs")
+				}
+				continue
 			}
-			continue
-		}
-		if !bytes.Equal(got, want) {
-			t.Fatalf("report at workers=%d differs from workers=1", workers)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("report at workers=%d lanes=%d differs from workers=1 lanes=1", workers, lanes)
+			}
 		}
 	}
 }
@@ -194,6 +197,37 @@ func TestBatchAllRedundantFaults(t *testing.T) {
 	}
 }
 
+func TestBatchAllRedundantWideBatch(t *testing.T) {
+	// A wide batch (> 63 lanes) in which no lane can ever diverge: the
+	// budget must drain without a session cutoff (the set spans multiple
+	// one-word batches, so the cutoff gate is off) and every verdict must
+	// match the one-word packing.
+	sg := wholeSegment(t, constOne)
+	faults := make([]sim.Fault, 100)
+	for i := range faults {
+		faults[i] = sim.Fault{Signal: "y", Stuck1: true}
+	}
+	for _, words := range []int{1, 4} {
+		cov, err := Simulate(sg, faults, Options{Seed: 1, MaxPatterns: 128, LaneWords: words})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov.Detected != 0 {
+			t.Fatalf("LaneWords=%d: redundant wide batch reported %d detections", words, cov.Detected)
+		}
+		if len(cov.Undetected) != len(faults) {
+			t.Fatalf("LaneWords=%d: undetected = %d, want %d", words, len(cov.Undetected), len(faults))
+		}
+	}
+}
+
+func TestCampaignInvalidLaneWords(t *testing.T) {
+	c, p := compilePartition(t, "s27", 4)
+	if _, err := Campaign(context.Background(), c, p, CampaignOptions{Seed: 1, LaneWords: 5}); err == nil {
+		t.Fatal("LaneWords 5 accepted")
+	}
+}
+
 func TestSegmentZeroOutputs(t *testing.T) {
 	// A dangling gate forms a segment with no boundary outputs: nothing is
 	// observable, so every fault survives, and the detection loop must not
@@ -275,8 +309,11 @@ func TestCancellationMidBatch(t *testing.T) {
 	ctx := &errAfterCtx{Context: context.Background()}
 	ctx.left.Store(2) // survive the session-start poll, die at a mid-loop poll
 	seed := uint64(12345)
-	_, err := env.runBatch(ctx, []sim.Fault{{Signal: "y", Stuck1: true}}, 1<<20, 0, 0,
-		func() uint64 { return seed })
+	if _, err := env.engine(1); err != nil {
+		t.Fatal(err)
+	}
+	err := env.runBatch(ctx, []sim.Fault{{Signal: "y", Stuck1: true}}, 1<<20, 0, 0,
+		func() uint64 { return seed }, false)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

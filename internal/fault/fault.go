@@ -2,14 +2,25 @@
 // fault simulation over circuit segments, used to validate the PPET claim
 // of high fault coverage under pseudo-exhaustive per-segment testing.
 //
-// Two entry points share one 63-lane batch kernel: Simulate runs a single
-// segment serially (the historical API), and Campaign fans every segment
-// of a partition across a bounded worker pool with fault dropping and
-// deterministic aggregation (campaign.go).
+// Two entry points share one wide-lane batch kernel (sim.LaneEngine, up to
+// 64*words-1 fault lanes per batch at a configurable vector width):
+// Simulate runs a single segment serially (the historical API), and
+// Campaign fans every segment of a partition across a bounded worker pool
+// with fault dropping and deterministic aggregation (campaign.go).
+//
+// Lane-width invariance: per-fault verdicts depend only on the fault and
+// the pattern sequences applied, never on which batch the fault landed in.
+// Both entry points key their LFSR session seeds to width-invariant
+// state (Simulate: the session index; Campaign: (seed, stage, segment)),
+// and batch-level session cutoff is only taken when the whole fault set
+// fits one word-wide batch at every width — so Detected/Undetected results
+// are identical for any LaneWords setting. Batch counts are the one
+// width-dependent observable.
 package fault
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -24,7 +35,8 @@ import (
 // The order is an explicit contract: signals ascend lexicographically and
 // SA0 precedes SA1 on each signal. Batch packing, campaign reports, and
 // the Undetected lists all inherit this order, which is what makes
-// coverage reports byte-identical across runs and worker counts.
+// coverage reports byte-identical across runs, worker counts, and lane
+// widths.
 func List(sg *sim.Segment) []sim.Fault {
 	sigs := append([]string(nil), sg.Signals()...)
 	sort.Strings(sigs)
@@ -54,6 +66,10 @@ func (c Coverage) Ratio() float64 {
 	return float64(c.Detected) / float64(c.Total)
 }
 
+// DefaultLaneWords is the batch vector width used when LaneWords is 0:
+// 4 words = 255 fault lanes per batch, matching 256-bit vector units.
+const DefaultLaneWords = 4
+
 // Options tunes the campaign.
 type Options struct {
 	// MaxPatterns caps applied patterns; 0 means the full pseudo-exhaustive
@@ -65,35 +81,82 @@ type Options struct {
 	// patterns pipeline through internal flip-flops; detection still uses
 	// every cycle's outputs, warm-up only pre-loads state.
 	WarmUp int
+	// LaneWords is the batch vector width in 64-bit words (1, 2, 4, or 8;
+	// 0 means DefaultLaneWords). A width-w batch simulates 64*w-1 faults
+	// per pattern. Detected/Undetected results are identical at every
+	// width; only Batches and throughput change.
+	LaneWords int
 }
+
+// laneWords validates an Options/CampaignOptions lane width, mapping the
+// zero value to the default.
+func laneWords(w int) (int, error) {
+	if w == 0 {
+		return DefaultLaneWords, nil
+	}
+	if !sim.ValidLaneWords(w) {
+		return 0, fmt.Errorf("fault: lane words %d not supported (want 1, 2, 4, or 8)", w)
+	}
+	return w, nil
+}
+
+// maxBatchSessions is the session count of a full (non-triage) batch on a
+// sequential segment; see runBatch.
+const maxBatchSessions = 4
 
 // Simulate runs parallel fault simulation: the segment's external inputs
 // are driven by a maximal-length LFSR exactly as the preceding CBIT in TPG
 // mode would, and a fault counts as detected when any boundary output
 // differs from the fault-free machine on any cycle (the succeeding CBIT in
 // PSA mode would absorb the difference into its signature). Faults are
-// packed 63 per batch (lane 0 is fault-free).
+// packed sim.BatchLanes(LaneWords) per batch (lane 0 is fault-free), with
+// the final partial batch re-fit to the narrowest width that holds it.
+//
+// Every batch applies the same session seed sequence (drawn once from
+// Seed), so per-fault verdicts do not depend on LaneWords.
 func Simulate(sg *sim.Segment, faults []sim.Fault, opt Options) (Coverage, error) {
 	cov := Coverage{Total: len(faults)}
+	words, err := laneWords(opt.LaneWords)
+	if err != nil {
+		return cov, err
+	}
 	patterns := patternBudget(sg.NumInputs(), sg.NumDFFs(), opt.MaxPatterns)
 	cov.Patterns = patterns
 
+	// One seed per session index, shared by every batch: verdicts stay
+	// invariant under repacking at a different width.
 	rng := rand.New(rand.NewSource(opt.Seed))
+	var seeds [maxBatchSessions]uint64
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	// Session cutoff is a batch-level decision; it is width-invariant only
+	// when the whole list is one batch at every width.
+	sole := len(faults) <= sim.LanesPerWord
 	env := newBatchEnv(sg)
 	defer env.release()
-	for start := 0; start < len(faults); start += 63 {
-		end := start + 63
+	lanes := sim.BatchLanes(words)
+	for start := 0; start < len(faults); start += lanes {
+		end := start + lanes
 		if end > len(faults) {
 			end = len(faults)
 		}
 		batch := faults[start:end]
-		cov.Batches++
-		detected, err := env.runBatch(context.Background(), batch, patterns, opt.WarmUp, 0, rng.Uint64)
+		w := words
+		if len(batch) < lanes {
+			w = sim.FitLaneWords(len(batch), words)
+		}
+		eng, err := env.engine(w)
 		if err != nil {
 			return cov, err
 		}
+		cov.Batches++
+		next := sessionSeeds(seeds)
+		if err := env.runBatch(context.Background(), batch, patterns, opt.WarmUp, 0, next, sole); err != nil {
+			return cov, err
+		}
 		for i, f := range batch {
-			if detected&(1<<uint(i+1)) != 0 {
+			if eng.Detected(i + 1) {
 				cov.Detected++
 			} else {
 				cov.Undetected = append(cov.Undetected, f)
@@ -103,52 +166,88 @@ func Simulate(sg *sim.Segment, faults []sim.Fault, opt Options) (Coverage, error
 	return cov, nil
 }
 
-// batchEnv bundles the per-worker scratch a batch simulation needs: the
-// shared immutable segment plus a private injector, state, and output
-// buffer. Workers of a parallel campaign each hold their own env, so the
-// segment itself is only ever read.
-type batchEnv struct {
-	sg   *sim.Segment
-	inj  *sim.Injector
-	st   *sim.SegState
-	outs []uint64
-}
-
-func newBatchEnv(sg *sim.Segment) *batchEnv {
-	return &batchEnv{
-		sg:   sg,
-		inj:  sg.NewInjector(),
-		st:   sg.GetState(),
-		outs: make([]uint64, sg.NumOutputs()),
+// sessionSeeds returns a nextSeed func replaying the fixed per-session
+// seed table from the top.
+func sessionSeeds(seeds [maxBatchSessions]uint64) func() uint64 {
+	i := 0
+	return func() uint64 {
+		s := seeds[i%len(seeds)]
+		i++
+		return s
 	}
 }
 
-// release returns pooled buffers to the segment.
-func (e *batchEnv) release() { e.sg.PutState(e.st) }
+// batchEnv bundles the per-worker scratch a batch simulation needs: the
+// shared immutable segment plus a private LaneEngine. Workers of a
+// parallel campaign each hold their own env, so the segment itself is only
+// ever read. The engine is swapped through the segment's width-keyed pools
+// when consecutive batches run at different widths (a campaign's partial
+// final batch re-fits to a narrower width).
+type batchEnv struct {
+	sg  *sim.Segment
+	eng sim.LaneEngine
+}
+
+func newBatchEnv(sg *sim.Segment) *batchEnv { return &batchEnv{sg: sg} }
+
+// engine returns the env's LaneEngine at the given width, exchanging the
+// held engine through the segment pool when the width changes.
+func (e *batchEnv) engine(words int) (sim.LaneEngine, error) {
+	if e.eng != nil && e.eng.Words() == words {
+		return e.eng, nil
+	}
+	if e.eng != nil {
+		e.sg.PutLaneEngine(e.eng)
+		e.eng = nil
+	}
+	eng, err := e.sg.GetLaneEngine(words)
+	if err != nil {
+		return nil, err
+	}
+	e.eng = eng
+	return eng, nil
+}
+
+// release returns the pooled engine to the segment.
+func (e *batchEnv) release() {
+	if e.eng != nil {
+		e.sg.PutLaneEngine(e.eng)
+		e.eng = nil
+	}
+}
 
 // ctxCheckMask throttles context polling in the pattern loop: the check
 // runs every 8192 cycles, bounding cancellation latency without touching
 // the hot path measurably.
 const ctxCheckMask = 8192 - 1
 
-// runBatch simulates one batch of up to 63 faults (lane 0 fault-free,
-// lane i+1 carrying batch[i]) for up to `budget` patterns per fault and
-// returns the detected-lane mask. Sequential segments run 4 scan-
-// re-initialised sessions (fresh LFSR seed from nextSeed, cleared state)
-// splitting the budget; a single maximal-length orbit correlates pattern
-// order with state and can systematically miss state-dependent faults.
-// maxSessions > 0 caps that session count (the campaign's triage stage
-// runs one session — its survivors get the full treatment on escalation).
-// The batch stops cycling as soon as every lane has diverged from lane 0
-// (fault dropping), and returns ctx.Err() promptly when cancelled.
-func (e *batchEnv) runBatch(ctx context.Context, batch []sim.Fault, budget uint64, warmUp, maxSessions int, nextSeed func() uint64) (uint64, error) {
+// runBatch simulates one batch of up to engine-capacity faults (lane 0
+// fault-free, lane i+1 carrying batch[i]) for up to `budget` patterns per
+// fault; per-lane verdicts are read back through eng.Detected. Sequential
+// segments run 4 scan-re-initialised sessions (fresh LFSR seed from
+// nextSeed, cleared state) splitting the budget; a single maximal-length
+// orbit correlates pattern order with state and can systematically miss
+// state-dependent faults. maxSessions > 0 caps that session count (the
+// campaign's triage stage runs one session — its survivors get the full
+// treatment on escalation). The batch stops cycling as soon as every lane
+// has diverged from lane 0 (fault dropping), and returns ctx.Err()
+// promptly when cancelled.
+//
+// soleBatch marks a batch known to be the only one of its fault set at
+// every lane width (the set fits sim.LanesPerWord lanes). Only then may a
+// no-progress session end the batch early: the cutoff is a batch-level
+// decision, and taking it on multi-batch sets would make verdicts depend
+// on how faults were packed — i.e. on the width.
+func (e *batchEnv) runBatch(ctx context.Context, batch []sim.Fault, budget uint64, warmUp, maxSessions int, nextSeed func() uint64, soleBatch bool) error {
 	sg := e.sg
-	e.inj.Reset()
+	eng := e.eng
+	eng.ClearFaults()
 	for i, f := range batch {
-		if err := sg.Inject(e.inj, f, i+1); err != nil {
-			return 0, err
+		if err := eng.Inject(f, i+1); err != nil {
+			return err
 		}
 	}
+	eng.Arm(len(batch))
 	width := sg.NumInputs()
 	if width < cbit.MinWidth {
 		width = cbit.MinWidth
@@ -158,7 +257,7 @@ func (e *batchEnv) runBatch(ctx context.Context, batch []sim.Fault, budget uint6
 	}
 	sessions := 1
 	if sg.NumDFFs() > 0 {
-		sessions = 4
+		sessions = maxBatchSessions
 	}
 	if maxSessions > 0 && sessions > maxSessions {
 		sessions = maxSessions
@@ -167,43 +266,35 @@ func (e *batchEnv) runBatch(ctx context.Context, batch []sim.Fault, budget uint6
 	if perSession == 0 {
 		perSession = 1
 	}
-	allLanes := laneMask(len(batch))
-	var detected uint64
-	for s := 0; s < sessions && detected != allLanes; s++ {
+	for s := 0; s < sessions && !eng.AllDetected(); s++ {
 		if err := ctx.Err(); err != nil {
-			return detected, err
+			return err
 		}
-		atSessionStart := detected
+		atSessionStart := eng.DetectedMask()
 		tpg, err := cbit.New(width)
 		if err != nil {
-			return detected, err
+			return err
 		}
 		seed := nextSeed()
 		if seed&tpgMask(width) == 0 {
 			seed = 1
 		}
 		if err := tpg.SetState(seed); err != nil {
-			return detected, err
+			return err
 		}
-		e.st.Reset()
+		eng.ResetState()
 		// Warm-up (state pre-load) cycles.
 		for w := 0; w < warmUp; w++ {
-			sg.CycleInto(e.st, e.inj, tpg.StepTPG(), e.outs)
+			eng.StepWarm(tpg.StepTPG())
 		}
-		for p := uint64(0); p < perSession && detected != allLanes; p++ {
+		for p := uint64(0); p < perSession; p++ {
 			if p&ctxCheckMask == ctxCheckMask {
 				if err := ctx.Err(); err != nil {
-					return detected, err
+					return err
 				}
 			}
-			sg.CycleInto(e.st, e.inj, tpg.StepTPG(), e.outs)
-			for _, w := range e.outs {
-				ref := w & 1 // fault-free lane
-				var refw uint64
-				if ref != 0 {
-					refw = ^uint64(0)
-				}
-				detected |= (w ^ refw) & allLanes
+			if eng.Step(tpg.StepTPG()) {
+				break
 			}
 		}
 		// Session-level fault dropping: a full re-seeded session that
@@ -211,11 +302,13 @@ func (e *batchEnv) runBatch(ctx context.Context, batch []sim.Fault, budget uint6
 		// this pattern source; further sessions would replay the same
 		// maximal-length orbit from another phase and almost surely find
 		// nothing either, so stop instead of burning the remaining budget.
-		if detected == atSessionStart {
+		// Gated to sole batches to keep verdicts lane-width-invariant (see
+		// above).
+		if soleBatch && eng.DetectedMask() == atSessionStart {
 			break
 		}
 	}
-	return detected, nil
+	return nil
 }
 
 // patternBudget chooses the applied cycle count: the pseudo-exhaustive
@@ -232,6 +325,8 @@ func patternBudget(inputs, dffs int, max uint64) uint64 {
 		return max
 	}
 	var full uint64
+	// 63 here guards the uint64 shift below, not lane packing: 2^inputs-1
+	// overflows the word at 64 inputs and dwarfs cap20 long before.
 	if inputs >= 63 {
 		full = cap20
 	} else {
@@ -248,14 +343,6 @@ func patternBudget(inputs, dffs int, max uint64) uint64 {
 		full = cap20
 	}
 	return full
-}
-
-func laneMask(n int) uint64 {
-	var m uint64
-	for i := 1; i <= n; i++ {
-		m |= 1 << uint(i)
-	}
-	return m
 }
 
 func tpgMask(width int) uint64 {

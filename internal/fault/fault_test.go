@@ -146,19 +146,96 @@ func TestMaxPatternsRespected(t *testing.T) {
 	}
 }
 
+// manyFaults replicates a segment's fault list until it exceeds n entries,
+// forcing multi-batch packing at any lane width up to the capacity n maps
+// to. Duplicate faults are legal: each occupies its own lane.
+func manyFaults(sg *sim.Segment, n int) []sim.Fault {
+	base := List(sg)
+	faults := append([]sim.Fault(nil), base...)
+	for len(faults) <= n {
+		faults = append(faults, base...)
+	}
+	return faults
+}
+
 func TestBatching(t *testing.T) {
 	sg := wholeSegment(t, s27)
-	faults := List(sg)
-	if len(faults) <= 63 {
-		t.Skip("fault list too small to exercise batching")
+	faults := manyFaults(sg, sim.BatchLanes(4))
+	for _, words := range []int{1, 2, 4} {
+		cov, err := Simulate(sg, faults, Options{Seed: 1, MaxPatterns: 256, LaneWords: words})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes := sim.BatchLanes(words)
+		wantBatches := (len(faults) + lanes - 1) / lanes
+		if cov.Batches != wantBatches {
+			t.Fatalf("LaneWords=%d: batches = %d, want %d", words, cov.Batches, wantBatches)
+		}
 	}
-	cov, err := Simulate(sg, faults, Options{Seed: 1, MaxPatterns: 256})
+}
+
+// TestSimulateWidthInvariant pins the Options.LaneWords contract: the
+// per-fault verdicts — and hence Detected and the ordered Undetected list —
+// are identical at every width, for a sole-batch list and a multi-batch
+// list alike.
+func TestSimulateWidthInvariant(t *testing.T) {
+	sg := wholeSegment(t, s27)
+	for _, faults := range [][]sim.Fault{
+		List(sg),                          // fits one 63-lane batch: sole at every width
+		manyFaults(sg, sim.BatchLanes(8)), // multiple batches even at 8 words
+	} {
+		var want Coverage
+		for i, words := range []int{1, 2, 4, 8} {
+			cov, err := Simulate(sg, faults, Options{Seed: 9, MaxPatterns: 512, LaneWords: words})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = cov
+				continue
+			}
+			if cov.Detected != want.Detected || len(cov.Undetected) != len(want.Undetected) {
+				t.Fatalf("LaneWords=%d: detected %d (undetected %d), LaneWords=1: %d (%d)",
+					words, cov.Detected, len(cov.Undetected), want.Detected, len(want.Undetected))
+			}
+			for j := range cov.Undetected {
+				if cov.Undetected[j] != want.Undetected[j] {
+					t.Fatalf("LaneWords=%d: undetected[%d] = %v, LaneWords=1: %v",
+						words, j, cov.Undetected[j], want.Undetected[j])
+				}
+			}
+		}
+	}
+}
+
+// A partial final batch re-fits to the narrowest width that holds it; the
+// re-fit is pure throughput and must not change a single verdict.
+func TestPartialFinalBatchRefit(t *testing.T) {
+	sg := wholeSegment(t, s27)
+	faults := manyFaults(sg, 128)[:130] // 130 faults: one W=4 batch under LaneWords 8
+	wide, err := Simulate(sg, faults, Options{Seed: 2, MaxPatterns: 256, LaneWords: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantBatches := (len(faults) + 62) / 63
-	if cov.Batches != wantBatches {
-		t.Fatalf("batches = %d, want %d", cov.Batches, wantBatches)
+	if wide.Batches != 1 {
+		t.Fatalf("batches = %d, want 1 (130 faults fit one 8-word batch)", wide.Batches)
+	}
+	narrow, err := Simulate(sg, faults, Options{Seed: 2, MaxPatterns: 256, LaneWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Batches != 3 {
+		t.Fatalf("batches = %d, want 3 at one word", narrow.Batches)
+	}
+	if wide.Detected != narrow.Detected {
+		t.Fatalf("re-fit changed verdicts: %d vs %d detected", wide.Detected, narrow.Detected)
+	}
+}
+
+func TestSimulateInvalidLaneWords(t *testing.T) {
+	sg := wholeSegment(t, comb)
+	if _, err := Simulate(sg, List(sg), Options{Seed: 1, LaneWords: 3}); err == nil {
+		t.Fatal("LaneWords 3 accepted")
 	}
 }
 

@@ -101,7 +101,7 @@ func TestCampaignMetricsAcrossWorkers(t *testing.T) {
 func TestCampaignProgressCountsBatches(t *testing.T) {
 	c, p := compilePartition(t, "s510", 8)
 	var mu sync.Mutex
-	calls, maxDone, lastTotal := 0, 0, 0
+	calls, maxDone, lastTotal, totalGrowths := 0, 0, 0, 0
 	opt := CampaignOptions{
 		Seed: 7, Workers: 4, Collapse: true, TriagePatterns: 64,
 		Progress: func(done, total int) {
@@ -113,6 +113,9 @@ func TestCampaignProgressCountsBatches(t *testing.T) {
 			}
 			if total < lastTotal {
 				t.Errorf("total shrank: %d after %d", total, lastTotal)
+			}
+			if total > lastTotal && lastTotal != 0 {
+				totalGrowths++
 			}
 			lastTotal = total
 		},
@@ -126,5 +129,16 @@ func TestCampaignProgressCountsBatches(t *testing.T) {
 	}
 	if lastTotal != rep.Batches {
 		t.Errorf("final total = %d, want %d", lastTotal, rep.Batches)
+	}
+	// The total is allowed to change exactly once: when the escalation
+	// stage is packed and appended to the triage total. Wide batches must
+	// not make it drift batch by batch.
+	if wantGrowths := 0; rep.Batches > rep.TriageBatches {
+		wantGrowths = 1
+		if totalGrowths != wantGrowths {
+			t.Errorf("total grew %d times, want exactly %d (at escalation packing)", totalGrowths, wantGrowths)
+		}
+	} else if totalGrowths != 0 {
+		t.Errorf("total grew %d times with no escalation stage", totalGrowths)
 	}
 }

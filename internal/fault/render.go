@@ -18,9 +18,11 @@ import (
 
 // RenderOptions selects what the campaign writers emit.
 type RenderOptions struct {
-	// Timing includes wall-clock fields (campaign elapsed, worker count).
-	// These are non-deterministic; leave Timing false when the output must
-	// be reproducible byte-for-byte.
+	// Timing includes wall-clock and throughput-shape fields: campaign
+	// elapsed, worker count, lane width, and batch counts (batch counts
+	// are deterministic but depend on LaneWords, so they stay out of the
+	// reproducible report body). Leave Timing false when the output must
+	// be byte-identical across worker counts and lane widths.
 	Timing bool
 	// Undetected lists each cluster's surviving faults in the text form
 	// (they are always present in JSON).
@@ -51,9 +53,10 @@ type campaignJSON struct {
 	Simulated     int           `json:"simulated"`
 	Detected      int           `json:"detected"`
 	Coverage      float64       `json:"coverage"`
-	Batches       int           `json:"batches"`
-	TriageBatches int           `json:"triage_batches"`
+	Batches       int           `json:"batches,omitempty"`
+	TriageBatches int           `json:"triage_batches,omitempty"`
 	Workers       int           `json:"workers,omitempty"`
+	Lanes         int           `json:"lanes,omitempty"`
 	ElapsedMS     float64       `json:"elapsed_ms,omitempty"`
 	Metrics       *obs.Metrics  `json:"metrics,omitempty"`
 }
@@ -63,13 +66,11 @@ type campaignJSON struct {
 // opts.Timing.
 func (r *CampaignReport) WriteJSON(w io.Writer, opts RenderOptions) error {
 	out := campaignJSON{
-		Segments:      make([]segmentJSON, 0, len(r.Segments)),
-		Faults:        r.Total,
-		Simulated:     r.Simulated,
-		Detected:      r.Detected,
-		Coverage:      r.Ratio(),
-		Batches:       r.Batches,
-		TriageBatches: r.TriageBatches,
+		Segments:  make([]segmentJSON, 0, len(r.Segments)),
+		Faults:    r.Total,
+		Simulated: r.Simulated,
+		Detected:  r.Detected,
+		Coverage:  r.Ratio(),
 	}
 	for i := range r.Segments {
 		sc := &r.Segments[i]
@@ -85,7 +86,10 @@ func (r *CampaignReport) WriteJSON(w io.Writer, opts RenderOptions) error {
 		out.Segments = append(out.Segments, sj)
 	}
 	if opts.Timing {
+		out.Batches = r.Batches
+		out.TriageBatches = r.TriageBatches
 		out.Workers = r.Workers
+		out.Lanes = r.LaneWords
 		out.ElapsedMS = float64(r.Elapsed) / float64(time.Millisecond)
 	}
 	if opts.Metrics {
@@ -115,13 +119,14 @@ func (r *CampaignReport) WriteCSV(w io.Writer, opts RenderOptions) error {
 }
 
 // WriteText renders the aligned per-cluster table followed by the
-// aggregate line (worker/elapsed trailer only under opts.Timing).
+// aggregate line (worker/lanes/batches/elapsed trailer only under
+// opts.Timing).
 func (r *CampaignReport) WriteText(w io.Writer, opts RenderOptions) error {
 	if err := r.table("Fault coverage").Write(w); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "\ntotal: %d/%d faults detected (%.4f coverage), %d simulated after collapse, %d batches (%d triage)\n",
-		r.Detected, r.Total, r.Ratio(), r.Simulated, r.Batches, r.TriageBatches); err != nil {
+	if _, err := fmt.Fprintf(w, "\ntotal: %d/%d faults detected (%.4f coverage), %d simulated after collapse\n",
+		r.Detected, r.Total, r.Ratio(), r.Simulated); err != nil {
 		return err
 	}
 	if opts.Undetected {
@@ -145,6 +150,7 @@ func (r *CampaignReport) WriteText(w io.Writer, opts RenderOptions) error {
 	if !opts.Timing {
 		return nil
 	}
-	_, err := fmt.Fprintf(w, "workers %d: %v\n", r.Workers, r.Elapsed.Round(time.Millisecond))
+	_, err := fmt.Fprintf(w, "workers %d, lanes %d, %d batches (%d triage): %v\n",
+		r.Workers, r.LaneWords, r.Batches, r.TriageBatches, r.Elapsed.Round(time.Millisecond))
 	return err
 }

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LaneEngine is a wide-lane fault-simulation machine bound to one Segment:
+// injected force masks, sequential state, and the detection accumulator,
+// all at a fixed vector width chosen at construction. It replaces the
+// (Injector, SegState, output buffer) triple of the scalar path for batch
+// fault simulation: one Step drives the segment's inputs, settles the
+// program, folds boundary-output divergence into the detected mask, and
+// latches the flip-flops — for 64*Words() lanes at once.
+//
+// Determinism contract: lanes are independent. Lane L's verdict after a
+// given pattern sequence depends only on the fault injected in lane L and
+// the sequence itself — never on the batch mates or the vector width — so
+// campaign verdicts are byte-identical across widths as long as the
+// pattern sequences are keyed to something width-invariant (the campaign
+// keys them to (seed, stage, segment); see internal/fault).
+//
+// A LaneEngine is not safe for concurrent use; concurrent campaigns give
+// each worker its own engine via GetLaneEngine.
+type LaneEngine interface {
+	// Words returns the vector width in 64-bit words.
+	Words() int
+	// Lanes returns the fault-lane capacity, BatchLanes(Words()).
+	Lanes() int
+	// ClearFaults removes all injected faults.
+	ClearFaults()
+	// Inject adds fault f on lane 1..Lanes(); lane 0 is reserved for the
+	// fault-free machine. Unknown signals are rejected.
+	Inject(f Fault, lane int) error
+	// Arm clears the detection accumulator and marks lanes 1..n as the
+	// armed set AllDetected tests against.
+	Arm(n int)
+	// ResetState zeroes the sequential state (a scan-style
+	// re-initialisation between sessions).
+	ResetState()
+	// Step applies one clock — drive inputs from pattern bits, settle,
+	// accumulate detection from the boundary outputs, latch flip-flops —
+	// and reports whether every armed lane has now diverged.
+	Step(pattern uint64) bool
+	// StepWarm is Step without the detection compare: warm-up cycles
+	// pre-load sequential state but must not count divergence observed
+	// before patterns have pipelined through.
+	StepWarm(pattern uint64)
+	// Detected reports whether lane has diverged since the last Arm.
+	Detected(lane int) bool
+	// AllDetected reports whether every armed lane has diverged.
+	AllDetected() bool
+	// DetectedMask snapshots the detection accumulator, zero-padded to
+	// MaxLaneWords words (for width-agnostic progress comparisons).
+	DetectedMask() [MaxLaneWords]uint64
+
+	// seg seals the interface to this package and keys pool returns.
+	seg() *Segment
+}
+
+// NewLaneEngine returns a fresh engine for the segment at the given vector
+// width (1, 2, 4, or 8 words).
+func (sg *Segment) NewLaneEngine(words int) (LaneEngine, error) {
+	switch words {
+	case 1:
+		return newLaneEngine[[1]uint64](sg), nil
+	case 2:
+		return newLaneEngine[[2]uint64](sg), nil
+	case 4:
+		return newLaneEngine[[4]uint64](sg), nil
+	case 8:
+		return newLaneEngine[[8]uint64](sg), nil
+	}
+	return nil, fmt.Errorf("sim: lane width %d words not supported (want 1, 2, 4, or 8)", words)
+}
+
+// GetLaneEngine returns a cleared engine at the given width, recycling a
+// previously Put one when available. Safe for concurrent use.
+func (sg *Segment) GetLaneEngine(words int) (LaneEngine, error) {
+	if !ValidLaneWords(words) {
+		return sg.NewLaneEngine(words) // reports the error
+	}
+	if v := sg.lanePools[laneWordsIndex(words)].Get(); v != nil {
+		e := v.(LaneEngine)
+		e.ClearFaults()
+		e.ResetState()
+		e.Arm(0)
+		return e, nil
+	}
+	return sg.NewLaneEngine(words)
+}
+
+// PutLaneEngine returns an engine obtained from GetLaneEngine (or
+// NewLaneEngine) to the segment's width-keyed pool for reuse. Engines
+// bound to another segment are dropped rather than poisoning the pool.
+func (sg *Segment) PutLaneEngine(e LaneEngine) {
+	if e == nil || e.seg() != sg {
+		return
+	}
+	sg.lanePools[laneWordsIndex(e.Words())].Put(e)
+}
+
+// laneWordsIndex maps a valid width {1,2,4,8} to its pool slot {0,1,2,3}.
+func laneWordsIndex(words int) int { return bits.TrailingZeros(uint(words)) }
+
+// laneEngine is the generic engine behind LaneEngine: the per-signal value
+// and force-mask planes are []W so every signal's lanes live in one vector
+// word, and the detection accumulator and armed-lane mask are single
+// vector words compared by value.
+type laneEngine[W lanevec] struct {
+	sgmt           *Segment
+	force0, force1 []W
+	v              []W
+	det, want      W
+}
+
+func newLaneEngine[W lanevec](sg *Segment) *laneEngine[W] {
+	n := len(sg.names)
+	return &laneEngine[W]{
+		sgmt:   sg,
+		force0: make([]W, n),
+		force1: make([]W, n),
+		v:      make([]W, n),
+	}
+}
+
+func (e *laneEngine[W]) seg() *Segment { return e.sgmt }
+
+func (e *laneEngine[W]) Words() int {
+	var w W
+	return len(w)
+}
+
+func (e *laneEngine[W]) Lanes() int { return BatchLanes(e.Words()) }
+
+func (e *laneEngine[W]) ClearFaults() {
+	var z W
+	for i := range e.force0 {
+		e.force0[i] = z
+		e.force1[i] = z
+	}
+}
+
+func (e *laneEngine[W]) Inject(f Fault, lane int) error {
+	if lane < 1 || lane > e.Lanes() {
+		return fmt.Errorf("sim: lane %d out of range 1..%d", lane, e.Lanes())
+	}
+	i, ok := e.sgmt.index[f.Signal]
+	if !ok {
+		return fmt.Errorf("sim: unknown fault signal %q", f.Signal)
+	}
+	if f.Stuck1 {
+		e.force1[i][lane>>6] |= 1 << uint(lane&63)
+	} else {
+		e.force0[i][lane>>6] |= 1 << uint(lane&63)
+	}
+	return nil
+}
+
+func (e *laneEngine[W]) Arm(n int) {
+	var z W
+	e.det = z
+	for lane := 1; lane <= n; lane++ {
+		z[lane>>6] |= 1 << uint(lane&63)
+	}
+	e.want = z
+}
+
+func (e *laneEngine[W]) ResetState() {
+	var z W
+	for i := range e.v {
+		e.v[i] = z
+	}
+}
+
+func (e *laneEngine[W]) Step(pattern uint64) bool {
+	e.cycle(pattern, true)
+	return e.det == e.want
+}
+
+func (e *laneEngine[W]) StepWarm(pattern uint64) { e.cycle(pattern, false) }
+
+// cycle is one clock of the wide machine. Like the eval kernel it
+// dispatches to hand-unrolled width specializations (wide_unroll.go): the
+// drive/detect/latch loops run every clock and their generic bodies carry
+// the same non-unrolled-loop and stack-spill cost as the generic kernel —
+// profiling showed them costing more than the settle itself. The pointer
+// receiver makes the any() conversion allocation-free.
+func (e *laneEngine[W]) cycle(pattern uint64, detect bool) {
+	switch ee := any(e).(type) {
+	case *laneEngine[[1]uint64]:
+		cycle1(ee, pattern, detect)
+	case *laneEngine[[2]uint64]:
+		cycle2(ee, pattern, detect)
+	case *laneEngine[[4]uint64]:
+		cycle4(ee, pattern, detect)
+	case *laneEngine[[8]uint64]:
+		cycle8(ee, pattern, detect)
+	default:
+		e.cycleGeneric(pattern, detect)
+	}
+}
+
+// cycleGeneric is the readable reference body for one clock, in the same
+// order as the scalar CycleInto: drive inputs (branchless broadcast,
+// forced), settle the program with fault injection, sample boundary
+// outputs into the detection accumulator (pre-latch), then clock the
+// flip-flops through their force masks. The width specializations mirror
+// it statement for statement.
+func (e *laneEngine[W]) cycleGeneric(pattern uint64, detect bool) {
+	sg := e.sgmt
+	v, f0, f1 := e.v, e.force0, e.force1
+	for i, sig := range sg.inputs {
+		w := vSplat[W](-(pattern >> uint(i) & 1))
+		a0, a1 := f0[sig], f1[sig]
+		for j := 0; j < len(w); j++ {
+			w[j] = (w[j] &^ a0[j]) | a1[j]
+		}
+		v[sig] = w
+	}
+	evalFaultyVec(sg.prog, v, f0, f1)
+	if detect {
+		det := e.det
+		for _, sig := range sg.outputs {
+			o := v[sig]
+			ref := -(o[0] & 1) // fault-free lane broadcast
+			for j := 0; j < len(o); j++ {
+				det[j] |= o[j] ^ ref
+			}
+		}
+		want := e.want
+		for j := 0; j < len(det); j++ {
+			det[j] &= want[j]
+		}
+		e.det = det
+	}
+	for i := range sg.dffs {
+		d := &sg.dffs[i]
+		nv := v[d.in]
+		a0, a1 := f0[d.out], f1[d.out]
+		for j := 0; j < len(nv); j++ {
+			nv[j] = (nv[j] &^ a0[j]) | a1[j]
+		}
+		v[d.out] = nv
+	}
+}
+
+func (e *laneEngine[W]) Detected(lane int) bool {
+	if lane < 0 || lane > BatchLanes(e.Words()) {
+		return false
+	}
+	return e.det[lane>>6]>>uint(lane&63)&1 != 0
+}
+
+func (e *laneEngine[W]) AllDetected() bool { return e.det == e.want }
+
+func (e *laneEngine[W]) DetectedMask() (m [MaxLaneWords]uint64) {
+	for j := 0; j < len(e.det); j++ {
+		m[j] = e.det[j]
+	}
+	return m
+}

@@ -13,9 +13,10 @@ import (
 // external input nets are driven by a preceding CBIT in TPG mode, its
 // boundary output nets are observed by succeeding CBITs in PSA mode, and
 // its internal flip-flops clock normally while patterns pipeline through
-// (paper Figure 1(a)). Evaluation is 64-way bit-parallel; the lanes are
-// used for parallel-fault simulation (lane 0 fault-free, lanes 1..63 each
-// carrying one injected fault).
+// (paper Figure 1(a)). Evaluation is bit-parallel; the lanes are used for
+// parallel-fault simulation (lane 0 fault-free, the rest each carrying one
+// injected fault) — 64-way through the scalar Injector/SegState path here,
+// up to 64*MaxLaneWords-way through LaneEngine (lanes.go).
 type Segment struct {
 	// InputNames are the external input net names in deterministic order.
 	InputNames []string
@@ -38,9 +39,14 @@ type Segment struct {
 
 	// statePool recycles SegState buffers across batches and workers.
 	statePool sync.Pool
+
+	// lanePools recycle LaneEngines across batches and workers, one pool
+	// per supported vector width (index laneWordsIndex(words)).
+	lanePools [4]sync.Pool
 }
 
-// Injector holds per-signal stuck-at lane masks for one 63-fault batch.
+// Injector holds per-signal stuck-at lane masks for one batch of up to
+// LanesPerWord faults.
 // A Segment is immutable after BuildSegment; all mutable fault state lives
 // here, so concurrent workers simulate the same Segment by giving each
 // batch its own Injector (and SegState).
@@ -65,11 +71,11 @@ func (inj *Injector) Reset() {
 	}
 }
 
-// Inject adds fault f on lane (1..63); lane 0 is reserved for the
-// fault-free machine. Unknown signals are rejected.
+// Inject adds fault f on lane (1..LanesPerWord); lane 0 is reserved for
+// the fault-free machine. Unknown signals are rejected.
 func (sg *Segment) Inject(inj *Injector, f Fault, lane int) error {
-	if lane < 1 || lane > 63 {
-		return fmt.Errorf("sim: lane %d out of range 1..63", lane)
+	if lane < 1 || lane > LanesPerWord {
+		return fmt.Errorf("sim: lane %d out of range 1..%d", lane, LanesPerWord)
 	}
 	i, ok := sg.index[f.Signal]
 	if !ok {
@@ -254,7 +260,8 @@ func (f Fault) String() string {
 // ClearFaults removes all faults from the segment's built-in injector.
 func (sg *Segment) ClearFaults() { sg.def.Reset() }
 
-// InjectFault injects fault f into lane (1..63) of the segment's built-in
+// InjectFault injects fault f into lane (1..LanesPerWord) of the segment's
+// built-in
 // injector; lane 0 is reserved for the fault-free machine. Unknown signals
 // are rejected. Not safe for concurrent use — parallel campaigns give each
 // batch its own Injector via NewInjector/Inject.

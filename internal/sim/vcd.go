@@ -22,9 +22,9 @@ type VCDWriter struct {
 }
 
 // NewVCDWriter prepares a dump of the named signals (nil: every signal) on
-// the given lane (0..63). The header is written immediately.
+// the given lane (0..LanesPerWord). The header is written immediately.
 func NewVCDWriter(w io.Writer, ev *Evaluator, names []string, lane uint) (*VCDWriter, error) {
-	if lane > 63 {
+	if lane > LanesPerWord {
 		return nil, fmt.Errorf("sim: lane %d out of range", lane)
 	}
 	if names == nil {

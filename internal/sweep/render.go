@@ -50,14 +50,14 @@ type jobJSON struct {
 
 // coverageJSON is the compact per-job fault-coverage block: the campaign
 // aggregates without the per-cluster detail (`merced -cover` renders the
-// full report when that detail is wanted).
+// full report when that detail is wanted). Batch counts are deliberately
+// absent: they depend on the lane width, and the sweep report must stay
+// byte-identical across the lanes axis.
 type coverageJSON struct {
-	Faults        int     `json:"faults"`
-	Simulated     int     `json:"simulated"`
-	Detected      int     `json:"detected"`
-	Coverage      float64 `json:"coverage"`
-	Batches       int     `json:"batches"`
-	TriageBatches int     `json:"triage_batches"`
+	Faults    int     `json:"faults"`
+	Simulated int     `json:"simulated"`
+	Detected  int     `json:"detected"`
+	Coverage  float64 `json:"coverage"`
 }
 
 type phasesJSON struct {
@@ -119,7 +119,7 @@ func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 			if cov := jr.Coverage; cov != nil {
 				jj.Coverage = &coverageJSON{
 					Faults: cov.Total, Simulated: cov.Simulated, Detected: cov.Detected,
-					Coverage: cov.Ratio(), Batches: cov.Batches, TriageBatches: cov.TriageBatches,
+					Coverage: cov.Ratio(),
 				}
 			}
 		}
