@@ -1,0 +1,96 @@
+package main
+
+// Satellite pin: `merced merge` reassembles the deterministic metrics
+// section — kernel counters, campaign counters, cache counters — by
+// summation, byte-identical to the unsharded run. The merged -cache-stats
+// occupancy figures (entries, capacity) are sums over the shard
+// processes' tiers, asserted separately because they intentionally differ
+// from any single process.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestShardMergeMetricsMatchUnsharded(t *testing.T) {
+	// Three distinct circuits across three shards: every shard carries a
+	// disjoint slice of the counter mass, so the merge must sum, not pick.
+	base := sweepRun{
+		circuits: "s27,s510,s641", lks: "4", betas: "50", seeds: "1",
+		format: "json", noTiming: true, metrics: true, coverage: true,
+	}
+	var want, errb bytes.Buffer
+	if code := runSweep(context.Background(), base, &want, &errb); code != 0 {
+		t.Fatalf("unsharded runSweep exit %d: %s", code, errb.String())
+	}
+	paths := shardedSweep(t, 3, base)
+	var got, merr bytes.Buffer
+	if code := runMerge(paths, &got, &merr); code != 0 {
+		t.Fatalf("runMerge exit %d: %s", code, merr.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("merged metrics output differs from unsharded run:\n--- unsharded ---\n%s--- merged ---\n%s", want.String(), got.String())
+	}
+	var doc struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(got.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sweep.jobs", "flow.trees", "campaign.faults", "cache.parsed.misses"} {
+		if doc.Metrics.Counters[key] == 0 {
+			t.Errorf("merged metrics missing %s:\n%v", key, doc.Metrics.Counters)
+		}
+	}
+	if doc.Metrics.Counters["sweep.jobs"] != 3 || doc.Metrics.Counters["cache.parsed.misses"] != 3 {
+		t.Errorf("merged counters are not sums over the shards: %v", doc.Metrics.Counters)
+	}
+}
+
+func TestShardMergeSumsCacheStats(t *testing.T) {
+	base := sweepRun{
+		circuits: "s27,s510,s641", lks: "4", betas: "50", seeds: "1",
+		format: "json", noTiming: true, cacheStats: true,
+	}
+	paths := shardedSweep(t, 3, base)
+	var shards []*sweep.ShardReport
+	var entries, misses int64
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := sweep.ReadShardReport(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries += int64(sr.Cache.Entries)
+		misses += sr.Cache.Parsed.Misses
+		shards = append(shards, sr)
+	}
+	rep, _, err := sweep.MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(rep.Cache.Entries) != entries || rep.Cache.Parsed.Misses != misses {
+		t.Errorf("merged cache stats are not shard sums: merged %+v, want entries=%d parsed.misses=%d",
+			rep.Cache, entries, misses)
+	}
+	// The rendered -cache-stats table carries the summed figures.
+	var got, merr bytes.Buffer
+	if code := runMerge(paths, &got, &merr); code != 0 {
+		t.Fatalf("runMerge exit %d: %s", code, merr.String())
+	}
+	if !strings.Contains(got.String(), `"cache"`) {
+		t.Errorf("merged report dropped the cache stats:\n%s", got.String())
+	}
+}

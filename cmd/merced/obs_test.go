@@ -203,6 +203,68 @@ func TestTraceFileSchema(t *testing.T) {
 	}
 }
 
+// The trace schema holds at wide batch widths too: a -lanes 4 campaign
+// exports the same campaign-worker-N lanes with stably-sorted,
+// nondecreasing per-lane timestamps. Wide lanes change batch packing (and
+// so span counts), never the trace shape.
+func TestTraceFileSchemaWideLanes(t *testing.T) {
+	rec := obs.NewRecorder()
+	ctx := obs.With(context.Background(), rec, 0)
+	var out, errBuf bytes.Buffer
+	code := runCover(ctx, coverRun{
+		circuit: "s510", lk: 8, beta: 50, seed: 1, workers: 4, lanes: "4",
+		format: "csv", noTiming: true,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("runCover -lanes 4 exit %d: %s", code, errBuf.String())
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	laneName := map[int]string{}
+	lastTS := map[int]float64{}
+	spansPerLane := map[int]int{}
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				laneName[e.TID] = e.Args["name"].(string)
+			}
+		case "X":
+			spansPerLane[e.TID]++
+			if e.TS < lastTS[e.TID] {
+				t.Fatalf("lane %d timestamps regress: %v after %v", e.TID, e.TS, lastTS[e.TID])
+			}
+			lastTS[e.TID] = e.TS
+		}
+	}
+	workerSpans := 0
+	for tid, n := range spansPerLane {
+		name, ok := laneName[tid]
+		if !ok {
+			t.Fatalf("span lane %d has no thread_name metadata", tid)
+		}
+		if strings.HasPrefix(name, "campaign-worker-") {
+			workerSpans += n
+		}
+	}
+	if workerSpans == 0 {
+		t.Fatalf("no batch spans on campaign-worker lanes: %v", laneName)
+	}
+}
+
 // Profiling composes with lint mode: the regression this pins is the
 // -cpuprofile/-memprofile flags being silently ignored when -lint ran.
 func TestProfilesComposeWithLint(t *testing.T) {

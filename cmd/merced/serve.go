@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/cas"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -40,6 +41,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	cacheSize := fs.Int("cache-size", 0, "process-lifetime artifact cache entries (0: default)")
 	cacheDir := fs.String("cache-dir", "", "persistent content-addressed artifact store backing the cache (survives restarts)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "how long a signal-triggered drain waits for in-flight jobs")
+	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ and add runtime gauges to the Prometheus exposition")
 	logLevel := fs.String("log-level", "off", "structured-log threshold on stderr (off, debug, info, warn, error)")
 	logFormat := fs.String("log-format", "text", "structured-log encoding (text, json)")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +57,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	// a restarted daemon serves warm artifacts from disk instead of
 	// recomputing them.
 	var cache *sweep.Cache
+	var led *ledger.Ledger
 	if *cacheDir != "" {
 		st, err := cas.Open(*cacheDir)
 		if err != nil {
@@ -63,6 +66,10 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		}
 		cache = sweep.NewCacheWithStore(*cacheSize, st)
 		defer cache.Flush() // pending write-behind persists land before exit
+		// The run ledger is always on when a store exists: a daemon with
+		// persistent artifacts also keeps its performance history
+		// (`merced history` reads it back).
+		led = ledger.Open(st)
 	}
 
 	// Jobs derive from their own root, NOT the signal context: a SIGTERM
@@ -74,6 +81,8 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		CacheSize:   *cacheSize,
 		Cache:       cache,
 		BaseContext: base,
+		Pprof:       *withPprof,
+		Ledger:      led,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -130,6 +130,12 @@ type CampaignReport struct {
 	// Workers, so not listed as a counter).
 	LaneWords int
 	Elapsed   time.Duration
+	// Latency holds the per-batch wall-time histograms of the two stages
+	// (latency.campaign.batch.triage / .escalation). Like Elapsed it is
+	// observability metadata: timing-gated at render time and excluded
+	// from every serialized encoding (shard documents keep their byte
+	// determinism and DisallowUnknownFields round-trip).
+	Latency *obs.HistogramSet `json:"-"`
 }
 
 // Ratio returns the aggregate detected/total (1.0 when empty).
@@ -296,10 +302,13 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 		}
 		return func() { opt.Progress(int(batchesDone.Add(1)), total) }
 	}
-	if err := runBatchPool(ctx, segs, jobs, workers, lanes, opt, tick(len(jobs))); err != nil {
+	rep.Latency = obs.NewHistogramSet()
+	durs := make([]time.Duration, len(jobs))
+	if err := runBatchPool(ctx, segs, jobs, workers, lanes, opt, tick(len(jobs)), durs); err != nil {
 		return nil, err
 	}
 	rep.Batches = len(jobs)
+	observeBatches(rep.Latency, "latency.campaign.batch.triage", durs)
 	for _, cs := range segs {
 		for _, d := range cs.det {
 			if d {
@@ -328,10 +337,12 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 		packSegment(si, survivors, cs.budget, 0, 1)
 	}
 	if len(jobs) > 0 {
-		if err := runBatchPool(ctx, segs, jobs, workers, lanes, opt, tick(rep.TriageBatches+len(jobs))); err != nil {
+		durs = make([]time.Duration, len(jobs))
+		if err := runBatchPool(ctx, segs, jobs, workers, lanes, opt, tick(rep.TriageBatches+len(jobs)), durs); err != nil {
 			return nil, err
 		}
 		rep.Batches += len(jobs)
+		observeBatches(rep.Latency, "latency.campaign.batch.escalation", durs)
 	}
 
 	// Aggregate in partition order, expanding collapsed classes back to
@@ -380,7 +391,10 @@ func Campaign(ctx context.Context, c *netlist.Circuit, r *partition.Result, opt 
 // failing job's error in job order. lanes is the configured per-batch lane
 // capacity (buffer sizing; individual jobs may run narrower). tick, when
 // non-nil, is called once per finished (or skipped-by-cancellation) batch.
-func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob, workers, lanes int, opt CampaignOptions, tick func()) error {
+// durs, when non-nil, receives each simulated batch's wall time at its job
+// index — the same per-index discipline as errs, so the concurrent writes
+// are race-free and the caller can aggregate in job order after the fact.
+func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob, workers, lanes int, opt CampaignOptions, tick func(), durs []time.Duration) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -456,7 +470,13 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 				// keystone of lane-width invariance — and far cheaper than
 				// seeding a math/rand source per job.
 				sm := splitmix64(mixSeed(opt.Seed, j.seedSeq))
+				//seedlint:wallclock per-batch latency telemetry, timing-gated at render time like Elapsed
+				bt := time.Now()
 				err = env.runBatch(ctx, batch, j.budget, opt.WarmUp, j.sessions, sm.next, j.sole)
+				if durs != nil {
+					//seedlint:wallclock per-batch latency telemetry, timing-gated at render time like Elapsed
+					durs[i] = time.Since(bt)
+				}
 				sp.End()
 				if err != nil {
 					errs[i] = fmt.Errorf("fault: cluster %d batch %d: %w", cs.cluster.ID, j.seq, err)
@@ -488,6 +508,17 @@ func runBatchPool(ctx context.Context, segs []*campaignSegment, jobs []batchJob,
 		}
 	}
 	return nil
+}
+
+// observeBatches fills every simulated batch's wall time into the named
+// histogram, in job order. Zero durations are skipped: they mark batches
+// that never ran (cancelled before start).
+func observeBatches(hs *obs.HistogramSet, name string, durs []time.Duration) {
+	for _, d := range durs {
+		if d > 0 {
+			hs.Observe(name, d)
+		}
+	}
 }
 
 // mixSeed derives a seed-stream origin from the campaign seed and the

@@ -29,7 +29,10 @@ type RenderOptions struct {
 	Undetected bool
 	// Metrics appends the campaign.* counter table (deterministic for any
 	// worker count) to the text form and a "metrics" object to the JSON
-	// form. The CSV form never carries metrics.
+	// form. The CSV form never carries metrics. Latency histograms are
+	// fills of wall-clock data, so they render only when Metrics AND
+	// Timing are both set — -no-timing output stays byte-identical whether
+	// or not histograms were collected.
 	Metrics bool
 }
 
@@ -48,17 +51,18 @@ type segmentJSON struct {
 }
 
 type campaignJSON struct {
-	Segments      []segmentJSON `json:"segments"`
-	Faults        int           `json:"faults"`
-	Simulated     int           `json:"simulated"`
-	Detected      int           `json:"detected"`
-	Coverage      float64       `json:"coverage"`
-	Batches       int           `json:"batches,omitempty"`
-	TriageBatches int           `json:"triage_batches,omitempty"`
-	Workers       int           `json:"workers,omitempty"`
-	Lanes         int           `json:"lanes,omitempty"`
-	ElapsedMS     float64       `json:"elapsed_ms,omitempty"`
-	Metrics       *obs.Metrics  `json:"metrics,omitempty"`
+	Segments      []segmentJSON                   `json:"segments"`
+	Faults        int                             `json:"faults"`
+	Simulated     int                             `json:"simulated"`
+	Detected      int                             `json:"detected"`
+	Coverage      float64                         `json:"coverage"`
+	Batches       int                             `json:"batches,omitempty"`
+	TriageBatches int                             `json:"triage_batches,omitempty"`
+	Workers       int                             `json:"workers,omitempty"`
+	Lanes         int                             `json:"lanes,omitempty"`
+	ElapsedMS     float64                         `json:"elapsed_ms,omitempty"`
+	Metrics       *obs.Metrics                    `json:"metrics,omitempty"`
+	Latency       map[string]obs.HistogramSummary `json:"latency,omitempty"`
 }
 
 // WriteJSON renders the report as indented JSON: a "segments" array in
@@ -94,6 +98,9 @@ func (r *CampaignReport) WriteJSON(w io.Writer, opts RenderOptions) error {
 	}
 	if opts.Metrics {
 		out.Metrics = r.Metrics()
+		if opts.Timing {
+			out.Latency = r.Latency.Summaries()
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -145,6 +152,14 @@ func (r *CampaignReport) WriteText(w io.Writer, opts RenderOptions) error {
 		}
 		if err := r.Metrics().WriteTable(w); err != nil {
 			return err
+		}
+		if opts.Timing && r.Latency.Len() > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			if err := r.Latency.WriteTable(w); err != nil {
+				return err
+			}
 		}
 	}
 	if !opts.Timing {

@@ -42,6 +42,12 @@ type Runtime struct {
 	// compile job after the report is written — the CLI hangs -emit and
 	// -min-period-adjacent extras here without jobspec knowing about them.
 	OnCompileResult func(*core.Result) error
+	// OnSummary, when non-nil, receives the run's observability summary
+	// after the report is written (and before Run returns, including the
+	// failed-jobs error path) — the -ledger flag and the serve daemon
+	// hang run-record persistence here. The hook must not write to the
+	// report stream.
+	OnSummary func(*RunSummary)
 }
 
 // Run executes a normalized, validated spec and writes its report to w.
@@ -136,6 +142,15 @@ func runSweep(ctx context.Context, s *Spec, w io.Writer, rt Runtime, cache *swee
 	if err != nil {
 		return err
 	}
+	if rt.OnSummary != nil {
+		cs := rep.Cache
+		st := rep.Stats
+		rt.OnSummary(&RunSummary{
+			Kind: KindSweep, Wall: st.Wall, Jobs: st.Jobs, Failed: st.Failed,
+			Phases:  phaseMap(st.Phases.Graph, st.Phases.SCC, st.Phases.Saturate, st.Phases.Group, st.Phases.Assign, st.Phases.Retime),
+			Metrics: rep.Metrics(), Latency: rep.Histograms(), Cache: &cs,
+		})
+	}
 	if sw.Shard != nil {
 		// A shard's output is always its self-describing JSON document —
 		// the requested format travels inside it and `merced merge`
@@ -197,6 +212,15 @@ func runCover(ctx context.Context, s *Spec, w io.Writer, rt Runtime, cache *swee
 	if err != nil {
 		return err
 	}
+	if rt.OnSummary != nil {
+		m := obs.NewMetrics()
+		rep.AddMetrics(m)
+		rt.OnSummary(&RunSummary{
+			Kind: KindCover, Wall: rep.Elapsed, Jobs: 1,
+			Phases:  phaseMap(r.Phases.Graph, r.Phases.SCC, r.Phases.Saturate, r.Phases.Group, r.Phases.Assign, r.Phases.Retime),
+			Metrics: m, Latency: rep.Latency,
+		})
+	}
 	opts := fault.RenderOptions{Timing: !s.Output.NoTiming, Undetected: s.Output.Undetected, Metrics: s.Output.Metrics}
 	switch s.Output.Format {
 	case "json":
@@ -213,6 +237,15 @@ func runCompile(ctx context.Context, s *Spec, w io.Writer, rt Runtime, cache *sw
 	r, err := cache.Compile(ctx, cp.Circuit, rt.Load, compileOptions(cp.LK, cp.Beta, cp.Seed, cp.NoRetimeSolver))
 	if err != nil {
 		return err
+	}
+	if rt.OnSummary != nil {
+		m := obs.NewMetrics()
+		r.Counters.AddTo(m)
+		rt.OnSummary(&RunSummary{
+			Kind: KindCompile, Wall: r.Elapsed, Jobs: 1,
+			Phases:  phaseMap(r.Phases.Graph, r.Phases.SCC, r.Phases.Saturate, r.Phases.Group, r.Phases.Assign, r.Phases.Retime),
+			Metrics: m,
+		})
 	}
 	writeCompileReport(w, r, cp.LK, cp.Verbose)
 	if s.Output.Metrics {

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.jobs.submitted": "merced_serve_jobs_submitted",
+		"cache.parsed.hits":    "merced_cache_parsed_hits",
+		"flow.injected_flow":   "merced_flow_injected_flow",
+		"weird-name!2":         "merced_weird_name_2",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// parseExposition is a minimal exposition-format checker: every line is a
+// comment or `name{labels} value`, TYPE lines precede their samples, and
+// histogram buckets are cumulative and monotone with a trailing +Inf.
+func parseExposition(t *testing.T, text string) {
+	t.Helper()
+	types := map[string]string{}
+	var lastBucketMetric string
+	var lastCum uint64
+	sawInf := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no sample value: %q", ln+1, line)
+		}
+		series, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, val, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			name = series[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		if types[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le := series[strings.Index(series, `le="`)+len(`le="`):]
+			le = le[:strings.IndexByte(le, '"')]
+			cum, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket count %q: %v", ln+1, val, err)
+			}
+			if base == lastBucketMetric && cum < lastCum {
+				t.Fatalf("line %d: bucket counts not monotone (%d < %d)", ln+1, cum, lastCum)
+			}
+			lastBucketMetric, lastCum = base, cum
+			if le == "+Inf" {
+				sawInf[base] = true
+			}
+		} else {
+			lastBucketMetric, lastCum = "", 0
+		}
+	}
+	for name, typ := range types {
+		if typ == "histogram" && !sawInf[name] {
+			t.Fatalf("histogram %s missing +Inf bucket", name)
+		}
+	}
+}
+
+func TestPromWriterExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Add("serve.jobs.submitted", 12)
+	m.Add("serve.jobs.completed", 10)
+	m.AddGauge("serve.queue.length", 2)
+	hs := NewHistogramSet()
+	for i := 0; i < 10; i++ {
+		hs.Observe("serve.job.duration", time.Duration(1000<<uint(i%4)))
+	}
+	hs.Observe("serve.queue.wait", 0)
+
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Metrics(m)
+	pw.Histograms(hs)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	parseExposition(t, text)
+	for _, want := range []string{
+		"# TYPE merced_serve_jobs_submitted counter",
+		"merced_serve_jobs_submitted 12",
+		"# TYPE merced_serve_queue_length gauge",
+		"# TYPE merced_serve_job_duration_seconds histogram",
+		`merced_serve_job_duration_seconds_bucket{le="+Inf"} 10`,
+		"merced_serve_job_duration_seconds_count 10",
+		`merced_serve_queue_wait_seconds_bucket{le="0"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	pw2 := NewPromWriter(&buf2)
+	pw2.Metrics(m)
+	pw2.Histograms(hs)
+	if err := pw2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("exposition is not deterministic")
+	}
+}
+
+func TestPromHistogramSum(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Second)
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Histogram("x", &h)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "merced_x_seconds_sum 2\n") {
+		t.Fatalf("sum not in seconds:\n%s", buf.String())
+	}
+}

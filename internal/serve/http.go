@@ -8,8 +8,11 @@ package serve
 //	GET    /v1/jobs/{id}/events SSE progress stream, terminal "done" event
 //	GET    /v1/jobs/{id}/trace  Chrome trace_event JSON ("output.trace" jobs)
 //	DELETE /v1/jobs/{id}        cancel → 202
-//	GET    /metrics             deterministic counter table (text)
+//	GET    /metrics             deterministic counter table (text);
+//	                            ?format=prometheus negotiates the
+//	                            Prometheus text exposition instead
 //	GET    /healthz             liveness
+//	/debug/pprof/*              net/http/pprof (only under Config.Pprof)
 //
 // Error bodies are always {"error": "..."}; a 429 carries Retry-After.
 
@@ -17,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"repro/internal/jobspec"
@@ -59,6 +63,15 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cfg.Pprof {
+		// net/http/pprof registers on DefaultServeMux at import; mount its
+		// handlers explicitly so they exist only when asked for.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -180,8 +193,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.Metrics().WriteTable(w)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.Metrics().WriteTable(w)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+	default:
+		writeErr(w, &apiError{status: http.StatusBadRequest, msg: "unknown metrics format " + strconv.Quote(format) + " (want table or prometheus)"})
+	}
 }
 
 // handleEvents streams progress as Server-Sent Events: an initial

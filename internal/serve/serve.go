@@ -29,8 +29,10 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/jobspec"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -60,6 +62,15 @@ type Config struct {
 	BaseContext context.Context
 	// MaxBodyBytes caps a POST body; <= 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Pprof mounts net/http/pprof under /debug/pprof/ and adds live
+	// runtime gauges (heap, goroutines, GC) to the Prometheus exposition.
+	// Off by default: profiling endpoints on a shared daemon are a
+	// deliberate opt-in (`merced serve -pprof`).
+	Pprof bool
+	// Ledger, when non-nil, receives one run record per finished job —
+	// the CLI constructs it over the -cache-dir CAS store, so a serving
+	// host accumulates the same history `merced history` reads.
+	Ledger *ledger.Ledger
 }
 
 // DefaultQueueDepth bounds the admission queue when Config leaves it 0.
@@ -101,6 +112,10 @@ type job struct {
 	// finished is closed exactly once, when the job reaches a terminal
 	// state; SSE handlers select on it.
 	finished chan struct{}
+	// submitted and started stamp the queue-wait and run-duration
+	// histograms; started stays zero for jobs cancelled while queued.
+	submitted time.Time
+	started   time.Time
 
 	mu              sync.Mutex
 	state           state
@@ -173,6 +188,12 @@ type Server struct {
 	queue    chan *job
 	draining bool
 	counters map[string]int64
+	// inflight counts jobs currently in the running state; lat holds the
+	// queue-wait and per-kind run-duration histograms. Both are mutated
+	// only under mu and exposed as gauges/histograms, never folded into
+	// deterministic report output.
+	inflight int64
+	lat      *obs.HistogramSet
 }
 
 // New builds the daemon and starts its worker pool. The caller owns the
@@ -207,6 +228,7 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		queue:    make(chan *job, depth),
 		counters: make(map[string]int64),
+		lat:      obs.NewHistogramSet(),
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -239,15 +261,36 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	}
 	j.mu.Lock()
 	j.state = stateRunning
+	j.started = time.Now()
+	started, submitted := j.started, j.submitted
 	j.mu.Unlock()
+	s.mu.Lock()
+	s.inflight++
+	if !submitted.IsZero() {
+		s.lat.Observe("latency.serve.queue.wait", started.Sub(submitted))
+	}
+	s.mu.Unlock()
 
 	var rec *obs.Recorder
 	if j.spec.Output != nil && j.spec.Output.Trace {
 		rec = obs.NewRecorder()
 		ctx = obs.With(ctx, rec, 0)
 	}
+	rt := jobspec.Runtime{Cache: s.cache, Progress: j.onProgress}
+	if s.cfg.Ledger != nil {
+		rt.OnSummary = func(sum *jobspec.RunSummary) {
+			_, lerr := s.cfg.Ledger.Append(ledger.NewRecord(j.spec, sum))
+			s.mu.Lock()
+			if lerr != nil {
+				s.counters["serve.ledger.errors"]++
+			} else {
+				s.counters["serve.ledger.appends"]++
+			}
+			s.mu.Unlock()
+		}
+	}
 	var out bytes.Buffer
-	err := s.run(ctx, j.spec, &out, jobspec.Runtime{Cache: s.cache, Progress: j.onProgress})
+	err := s.run(ctx, j.spec, &out, rt)
 	var trace []byte
 	if rec != nil {
 		var tb bytes.Buffer
@@ -262,6 +305,8 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 func (s *Server) finish(j *job, report, trace []byte, err error) {
 	j.mu.Lock()
 	j.report, j.trace, j.err = report, trace, err
+	wasRunning := j.state == stateRunning
+	started := j.started
 	switch {
 	case err == nil:
 		j.state = stateDone
@@ -277,6 +322,10 @@ func (s *Server) finish(j *job, report, trace []byte, err error) {
 
 	s.mu.Lock()
 	s.counters["serve."+string(st)]++
+	if wasRunning {
+		s.inflight--
+		s.lat.Observe("latency.serve.job."+string(j.spec.Kind), time.Since(started))
+	}
 	s.mu.Unlock()
 }
 
@@ -286,12 +335,13 @@ func (s *Server) finish(j *job, report, trace []byte, err error) {
 func (s *Server) submit(spec *jobspec.Spec) (*job, *apiError) {
 	ctx, cancel := context.WithCancel(s.base)
 	j := &job{
-		spec:     spec,
-		ctx:      ctx,
-		cancel:   cancel,
-		finished: make(chan struct{}),
-		state:    stateQueued,
-		subs:     make(map[chan progress]struct{}),
+		spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		finished:  make(chan struct{}),
+		state:     stateQueued,
+		subs:      make(map[chan progress]struct{}),
+		submitted: time.Now(),
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -359,6 +409,13 @@ func (s *Server) Metrics() *obs.Metrics {
 	m.Add("serve.queue.depth", int64(cap(s.queue)))
 	m.Add("serve.queue.length", int64(len(s.queue)))
 	m.Add("serve.jobs.tracked", int64(len(s.jobs)))
+	// Live-occupancy gauges: queue_depth is the number of jobs waiting in
+	// the queue right now, inflight the number currently running. They
+	// mirror exactly the accounting the 429 admission decision sees —
+	// queue_depth == serve.queue.depth (capacity) implies submissions are
+	// being rejected — which the consistency test pins.
+	m.AddGauge("serve.queue_depth", float64(len(s.queue)))
+	m.AddGauge("serve.inflight", float64(s.inflight))
 	s.mu.Unlock()
 
 	cs := s.cache.Stats()
@@ -378,4 +435,15 @@ func (s *Server) Metrics() *obs.Metrics {
 	m.Add("cache.entries", int64(cs.Entries))
 	m.Add("cache.capacity", int64(cs.Capacity))
 	return m
+}
+
+// Latency snapshots the server's latency histograms — queue wait and
+// per-kind run durations — for the Prometheus exposition. The returned
+// set is a private copy; mutating it does not touch the server.
+func (s *Server) Latency() *obs.HistogramSet {
+	out := obs.NewHistogramSet()
+	s.mu.Lock()
+	out.Merge(s.lat)
+	s.mu.Unlock()
+	return out
 }

@@ -32,6 +32,9 @@ type RenderOptions struct {
 	// Report.Metrics) to the text form and a "metrics" object to the JSON
 	// form. The table is deterministic for any worker count, so the flag
 	// composes with Timing=false. The CSV form never carries metrics.
+	// Latency histograms (Report.Histograms) are fills of wall-clock
+	// data, so they render only when Metrics AND Timing are both set;
+	// -no-timing output is byte-identical with or without them.
 	Metrics bool
 }
 
@@ -91,10 +94,11 @@ func stageStatsString(s StageStats) string {
 // opts.Timing.
 func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 	out := struct {
-		Jobs    []jobJSON    `json:"jobs"`
-		Stats   statsJSON    `json:"stats"`
-		Cache   *CacheStats  `json:"cache,omitempty"`
-		Metrics *obs.Metrics `json:"metrics,omitempty"`
+		Jobs    []jobJSON                       `json:"jobs"`
+		Stats   statsJSON                       `json:"stats"`
+		Cache   *CacheStats                     `json:"cache,omitempty"`
+		Metrics *obs.Metrics                    `json:"metrics,omitempty"`
+		Latency map[string]obs.HistogramSummary `json:"latency,omitempty"`
 	}{
 		Jobs:  make([]jobJSON, 0, len(r.Jobs)),
 		Stats: statsJSON{Jobs: r.Stats.Jobs, Failed: r.Stats.Failed},
@@ -105,6 +109,9 @@ func (r *Report) WriteJSON(w io.Writer, opts RenderOptions) error {
 	}
 	if opts.Metrics {
 		out.Metrics = r.Metrics()
+		if opts.Timing {
+			out.Latency = r.Histograms().Summaries()
+		}
 	}
 	for i := range r.Jobs {
 		jr := &r.Jobs[i]
@@ -224,6 +231,16 @@ func (r *Report) WriteText(w io.Writer, opts RenderOptions) error {
 		}
 		if err := r.Metrics().WriteTable(w); err != nil {
 			return err
+		}
+		if opts.Timing {
+			if hs := r.Histograms(); hs.Len() > 0 {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+				if err := hs.WriteTable(w); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if !opts.Timing {

@@ -213,6 +213,50 @@ type Report struct {
 	// always reflect the circuit preload, which deduplicates through the
 	// cache.
 	Cache CacheStats
+	// parseTimes holds the wall time of each parse the circuit preload
+	// actually computed (cache hits contribute nothing), in preload order.
+	// It feeds the latency.phase.parse histogram; like every timing it is
+	// excluded from deterministic encodings.
+	parseTimes []time.Duration
+}
+
+// Histograms builds the sweep's latency histograms after the fact, in job
+// order, from the per-job result structs — the same aggregation
+// discipline as Metrics, applied to timing data. Phase fills follow the
+// pipeline: parse (preload computes only), analyze (graph + SCC),
+// saturate, partition (group + assign), price (retime); whole jobs fill
+// latency.sweep.job. Zero phase durations are skipped — they mark stages
+// attributed to another job through the shared-prefix cache. Embedded
+// coverage campaigns contribute their per-batch histograms by merging.
+// The result is timing data: render it only where a timing trailer would
+// render.
+func (r *Report) Histograms() *obs.HistogramSet {
+	hs := obs.NewHistogramSet()
+	for _, d := range r.parseTimes {
+		if d > 0 {
+			hs.Observe("latency.phase.parse", d)
+		}
+	}
+	observePhase := func(name string, d time.Duration) {
+		if d > 0 {
+			hs.Observe(name, d)
+		}
+	}
+	for i := range r.Jobs {
+		jr := &r.Jobs[i]
+		if jr.Err != nil {
+			continue
+		}
+		observePhase("latency.sweep.job", jr.Elapsed)
+		observePhase("latency.phase.analyze", jr.Phases.Graph+jr.Phases.SCC)
+		observePhase("latency.phase.saturate", jr.Phases.Saturate)
+		observePhase("latency.phase.partition", jr.Phases.Group+jr.Phases.Assign)
+		observePhase("latency.phase.price", jr.Phases.Retime)
+		if jr.Coverage != nil {
+			hs.Merge(jr.Coverage.Latency)
+		}
+	}
+	return hs
 }
 
 // FirstErr returns the first failed job's error, or nil when every job
@@ -276,15 +320,21 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	// cache mutex and read after the pool has drained.
 	per := new([3]StageStats)
 	masters := make(map[string]*core.Parsed, len(jobs))
+	var parseTimes []time.Duration
 	for i, j := range jobs {
 		v, _, err := cache.getOrComputeStored(stageParsed, "parsed:"+j.Circuit, per, parsedCodec, func() (any, error) {
 			sp := obs.Start(ctx, "stage", "parse "+j.Circuit)
 			defer sp.End()
+			begin := time.Now()
 			c, err := load(j.Circuit)
 			if err != nil {
 				return nil, err
 			}
-			return core.NewParsed(c)
+			p, err := core.NewParsed(c)
+			if err == nil {
+				parseTimes = append(parseTimes, time.Since(begin))
+			}
+			return p, err
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sweep: job %d: loading circuit %q: %w", i, j.Circuit, err)
@@ -333,7 +383,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	close(idx)
 	wg.Wait()
 
-	rep := &Report{Jobs: results}
+	rep := &Report{Jobs: results, parseTimes: parseTimes}
 	rep.Stats = aggregate(results, workers, time.Since(start))
 	rep.Cache = cache.statsFor(per)
 	obs.L(ctx).Info("sweep done", "jobs", rep.Stats.Jobs,
